@@ -1,0 +1,51 @@
+"""Ablation: bounded-list encoding cost vs. the list-length bound.
+
+§6 explains that composite structures use "a variable to represent the
+list length and another collection of variables to represent the list
+elements for different sized lengths", with the maximum length a
+parameter of `find`.  This ablation measures how both backends scale
+as that bound grows, for a list-heavy route-map query — quantifying
+the encoding pressure that makes the SAT backend preferable on data
+structures (Figure 10, right).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ZenFunction
+from repro.lang.listops import contains
+from repro.network import Route, apply_route_map
+from repro.workloads import random_route_map
+
+BOUNDS = [2, 4, 6]
+LINES = 20
+SEED = 7
+
+
+def _query(route_map, backend: str, bound: int):
+    f = ZenFunction(
+        lambda r: apply_route_map(route_map, r), [Route], name="rm"
+    )
+    return f.find(
+        lambda r, out: out.has_value()
+        & contains(out.value().communities, 0),
+        backend=backend,
+        max_list_length=bound,
+    )
+
+
+@pytest.mark.parametrize("bound", BOUNDS)
+def test_list_bound_sat(benchmark, bound):
+    rm = random_route_map(LINES, seed=SEED)
+    benchmark.group = f"ablation-lists-{bound}"
+    benchmark.name = "zen_sat"
+    benchmark(lambda: _query(rm, "sat", bound))
+
+
+@pytest.mark.parametrize("bound", BOUNDS)
+def test_list_bound_bdd(benchmark, bound):
+    rm = random_route_map(LINES, seed=SEED)
+    benchmark.group = f"ablation-lists-{bound}"
+    benchmark.name = "zen_bdd"
+    benchmark(lambda: _query(rm, "bdd", bound))

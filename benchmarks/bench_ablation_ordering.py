@@ -1,0 +1,130 @@
+"""Ablation: the BDD variable-ordering heuristics of §6.
+
+Three experiments isolating the ordering decisions DESIGN.md calls
+out:
+
+1. *Comparison interleaving* (the paper's own example): equality of
+   two n-bit values is linear-size when their bits interleave and
+   exponential when the blocks are sequential.
+2. *MSB-first integer allocation*: prefix-style constraints stay
+   trie-like; LSB-first allocation inflates ACL analysis.
+3. *Transformer anchor analysis*: the support-based output placement
+   keeps an encapsulation transformer's relation small; a naive
+   sequential input-then-output block explodes (bounded here by
+   building only a scaled-down 8-bit packet analogue).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bdd import Bdd, VariableAllocator
+
+
+def equality_nodes_interleaved(width: int) -> int:
+    manager = Bdd()
+    alloc = VariableAllocator()
+    xi, yi = alloc.interleaved(2, width)
+    manager.new_vars(alloc.allocated)
+    f = manager.and_many(
+        [manager.iff(manager.var(a), manager.var(b)) for a, b in zip(xi, yi)]
+    )
+    return manager.node_count(f)
+
+
+def equality_nodes_sequential(width: int) -> int:
+    manager = Bdd()
+    xs = manager.new_vars(width)
+    ys = manager.new_vars(width)
+    f = manager.and_many([manager.iff(x, y) for x, y in zip(xs, ys)])
+    return manager.node_count(f)
+
+
+@pytest.mark.parametrize("width", [8, 12])
+def test_interleaved_equality(benchmark, width):
+    benchmark.group = f"ablation-ordering-eq-{width}"
+    benchmark.name = "interleaved"
+    nodes = benchmark(lambda: equality_nodes_interleaved(width))
+    assert nodes <= 3 * width + 2  # linear
+
+
+@pytest.mark.parametrize("width", [8, 12])
+def test_sequential_equality(benchmark, width):
+    benchmark.group = f"ablation-ordering-eq-{width}"
+    benchmark.name = "sequential"
+    nodes = benchmark(lambda: equality_nodes_sequential(width))
+    assert nodes >= 2 ** width  # exponential
+
+
+def _acl_allowed_nodes(msb_first: bool, lines: int = 40) -> int:
+    """BDD size of a random ACL's permit set under both bit layouts.
+
+    The accumulated first-match complements are where MSB-first
+    allocation pays off: prefix matches across rules share leading
+    decision levels (a trie), while LSB-first scatters them.
+    """
+    from repro.baselines import BatfishAclEncoder
+    from repro.workloads import random_acl
+
+    acl = random_acl(lines, seed=11)
+    encoder = BatfishAclEncoder()
+    if not msb_first:
+        # Reverse each field's bit-to-level map; all encoder queries go
+        # through field_vars, so semantics are unchanged.
+        for name in list(encoder._field_vars):
+            encoder._field_vars[name] = list(
+                reversed(encoder._field_vars[name])
+            )
+    allowed = encoder.allowed_bdd(acl)
+    return encoder.manager.node_count(allowed)
+
+
+def test_prefix_msb_first(benchmark):
+    benchmark.group = "ablation-ordering-prefix"
+    benchmark.name = "msb_first"
+    nodes = benchmark(lambda: _acl_allowed_nodes(True))
+    assert nodes > 0
+
+
+def test_prefix_lsb_first(benchmark):
+    benchmark.group = "ablation-ordering-prefix"
+    benchmark.name = "lsb_first"
+    lsb = _acl_allowed_nodes(False)
+    msb = _acl_allowed_nodes(True)
+    benchmark(lambda: _acl_allowed_nodes(False))
+    assert lsb > msb  # strictly worse than the MSB-first layout
+
+
+def _copy_under_condition(pair_layout: bool, width: int = 12) -> int:
+    """Relation y == (cond ? x : 0) for w-bit x copied across blocks."""
+    manager = Bdd()
+    if pair_layout:
+        alloc = VariableAllocator()
+        xi, yi = alloc.interleaved(2, width)
+        manager.new_vars(alloc.allocated)
+    else:
+        xi = list(range(width))
+        yi = list(range(width, 2 * width))
+        manager.new_vars(2 * width)
+    xs = [manager.var(i) for i in xi]
+    ys = [manager.var(i) for i in yi]
+    cond = manager.and_(xs[0], manager.not_(xs[1]))
+    rel = 1
+    for x, y in zip(xs, ys):
+        copied = manager.ite(cond, x, 0)
+        rel = manager.and_(rel, manager.iff(y, copied))
+    return manager.node_count(rel)
+
+
+def test_transformer_pairing(benchmark):
+    benchmark.group = "ablation-ordering-transformer"
+    benchmark.name = "anchored_pairs"
+    nodes = benchmark(lambda: _copy_under_condition(True))
+    assert nodes <= 100
+
+
+def test_transformer_sequential(benchmark):
+    benchmark.group = "ablation-ordering-transformer"
+    benchmark.name = "sequential_blocks"
+    nodes = benchmark(lambda: _copy_under_condition(False))
+    assert nodes > 1000

@@ -1,0 +1,66 @@
+"""Figure 10 (left): ACL verification time vs. ACL size.
+
+The verifier's task (as in §7): find a packet whose *first* matching
+line is the last line, which requires reasoning about the complete
+ACL.  Three systems run the same query:
+
+* ``zen_bdd`` — the Zen model compiled by the BDD backend,
+* ``zen_sat`` — the Zen model bitblasted to the CDCL solver (the
+  paper's "SMT" configuration),
+* ``batfish`` — the hand-optimized direct-to-BDD baseline.
+
+Expected shape (paper): Zen-BDD tracks the hand-optimized baseline
+closely despite its encoding being generated automatically, and the
+SAT/SMT configuration is the slowest of the three.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ZenFunction
+from repro.baselines import find_packet_matching_last_line
+from repro.network import Header, acl_match_line
+from repro.workloads import random_acl
+
+from conftest import ACL_SIZES
+
+SEED = 2020
+
+
+def _zen_query(acl, backend: str):
+    f = ZenFunction(
+        lambda h: acl_match_line(acl, h), [Header], name="acl-lines"
+    )
+    witness = f.find(
+        lambda h, line: line == len(acl.rules), backend=backend
+    )
+    assert witness is not None
+    return witness
+
+
+@pytest.mark.parametrize("lines", ACL_SIZES)
+def test_acl_zen_bdd(benchmark, lines):
+    acl = random_acl(lines, seed=SEED)
+    benchmark.group = f"fig10-acl-{lines}"
+    benchmark.name = "zen_bdd"
+    witness = benchmark(lambda: _zen_query(acl, "bdd"))
+    assert witness is not None
+
+
+@pytest.mark.parametrize("lines", ACL_SIZES)
+def test_acl_zen_sat(benchmark, lines):
+    acl = random_acl(lines, seed=SEED)
+    benchmark.group = f"fig10-acl-{lines}"
+    benchmark.name = "zen_sat"
+    witness = benchmark(lambda: _zen_query(acl, "sat"))
+    assert witness is not None
+
+
+@pytest.mark.parametrize("lines", ACL_SIZES)
+def test_acl_batfish_baseline(benchmark, lines):
+    acl = random_acl(lines, seed=SEED)
+    benchmark.group = f"fig10-acl-{lines}"
+    benchmark.name = "batfish"
+    witness = benchmark(lambda: find_packet_matching_last_line(acl))
+    assert witness is not None

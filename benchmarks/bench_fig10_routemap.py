@@ -1,0 +1,88 @@
+"""Figure 10 (right): route-map verification time vs. map size.
+
+Two queries per size:
+
+* ``last_line`` — find a route whose first matching clause is the
+  last one (the literal §7 query); this only exercises the match
+  conditions.
+* ``structural`` — find an input route whose *processed output*
+  (through all the set/prepend actions) carries a given community and
+  local preference; this drives reasoning through the symbolic list
+  manipulation that §7 credits the SMT backend with handling better.
+
+Expected shape (paper): the SAT/SMT backend beats the BDD backend on
+the list-heavy structural query.  Batfish does not appear: it "does
+not support verification of route maps" (§7).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ZenFunction
+from repro.lang.listops import contains
+from repro.network import Route, apply_route_map, route_map_match_line
+from repro.workloads import random_route_map
+
+from conftest import ROUTE_MAP_SIZES
+
+SEED = 2020
+MAX_LIST = 4
+
+
+def _last_line_query(route_map, backend: str):
+    f = ZenFunction(
+        lambda r: route_map_match_line(route_map, r),
+        [Route],
+        name="rm-lines",
+    )
+    return f.find(
+        lambda r, line: line == len(route_map.clauses),
+        backend=backend,
+        max_list_length=MAX_LIST,
+    )
+
+
+def _structural_query(route_map, backend: str):
+    f = ZenFunction(
+        lambda r: apply_route_map(route_map, r), [Route], name="rm-apply"
+    )
+    return f.find(
+        lambda r, out: out.has_value()
+        & contains(out.value().communities, 0)
+        & (out.value().local_pref >= 100),
+        backend=backend,
+        max_list_length=MAX_LIST,
+    )
+
+
+@pytest.mark.parametrize("lines", ROUTE_MAP_SIZES)
+def test_routemap_last_line_sat(benchmark, lines):
+    rm = random_route_map(lines, seed=SEED)
+    benchmark.group = f"fig10-rm-lastline-{lines}"
+    benchmark.name = "zen_sat"
+    assert benchmark(lambda: _last_line_query(rm, "sat")) is not None
+
+
+@pytest.mark.parametrize("lines", ROUTE_MAP_SIZES)
+def test_routemap_last_line_bdd(benchmark, lines):
+    rm = random_route_map(lines, seed=SEED)
+    benchmark.group = f"fig10-rm-lastline-{lines}"
+    benchmark.name = "zen_bdd"
+    assert benchmark(lambda: _last_line_query(rm, "bdd")) is not None
+
+
+@pytest.mark.parametrize("lines", ROUTE_MAP_SIZES)
+def test_routemap_structural_sat(benchmark, lines):
+    rm = random_route_map(lines, seed=SEED)
+    benchmark.group = f"fig10-rm-structural-{lines}"
+    benchmark.name = "zen_sat"
+    benchmark(lambda: _structural_query(rm, "sat"))
+
+
+@pytest.mark.parametrize("lines", ROUTE_MAP_SIZES)
+def test_routemap_structural_bdd(benchmark, lines):
+    rm = random_route_map(lines, seed=SEED)
+    benchmark.group = f"fig10-rm-structural-{lines}"
+    benchmark.name = "zen_bdd"
+    benchmark(lambda: _structural_query(rm, "bdd"))

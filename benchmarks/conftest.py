@@ -1,0 +1,28 @@
+"""Shared configuration for the benchmark suite.
+
+Sizes are scaled down from the paper's testbed (15,000-line ACLs on an
+8-core i7 with a C# runtime) to what a pure-Python solver stack
+finishes in seconds; EXPERIMENTS.md discusses the scaling.  Set the
+environment variable ``REPRO_BENCH_FULL=1`` to run the larger sweeps.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+FULL = os.environ.get("REPRO_BENCH_FULL") == "1"
+
+ACL_SIZES = [125, 250, 500, 1000, 2000] if FULL else [50, 100, 200]
+ROUTE_MAP_SIZES = [20, 40, 60, 80, 100] if FULL else [20, 60, 100]
+
+
+@pytest.fixture(scope="session")
+def acl_sizes():
+    return ACL_SIZES
+
+
+@pytest.fixture(scope="session")
+def route_map_sizes():
+    return ROUTE_MAP_SIZES

@@ -1,0 +1,101 @@
+"""Generate the paper-style evaluation report (Figure 10 series etc.).
+
+pytest-benchmark gives statistically careful per-case timings; this
+script complements it by printing the *series* form of Figure 10 —
+one row per workload size with all systems side by side — so the
+crossover structure is visible at a glance.
+
+Usage:  python benchmarks/report.py [--full]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro import ZenFunction
+from repro.baselines import find_packet_matching_last_line
+from repro.lang.listops import contains
+from repro.network import Header, Route, acl_match_line, apply_route_map
+from repro.workloads import random_acl, random_route_map
+
+SEED = 2020
+
+
+def timed(fn, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def acl_series(sizes, repeats: int) -> None:
+    print("\nFigure 10 (left): ACL verification, time in ms")
+    print(f"{'lines':>7} {'zen_bdd':>9} {'zen_sat':>9} {'batfish':>9}")
+    for lines in sizes:
+        acl = random_acl(lines, seed=SEED)
+        f = ZenFunction(
+            lambda h: acl_match_line(acl, h), [Header], name="acl"
+        )
+        last = len(acl.rules)
+
+        t_bdd = timed(
+            lambda: f.find(lambda h, r: r == last, backend="bdd"), repeats
+        )
+        t_sat = timed(
+            lambda: f.find(lambda h, r: r == last, backend="sat"), repeats
+        )
+        t_base = timed(
+            lambda: find_packet_matching_last_line(acl), repeats
+        )
+        print(
+            f"{lines:>7} {t_bdd * 1000:>9.1f} {t_sat * 1000:>9.1f} "
+            f"{t_base * 1000:>9.1f}"
+        )
+
+
+def routemap_series(sizes, repeats: int) -> None:
+    print("\nFigure 10 (right): route-map verification, time in ms")
+    print(f"{'lines':>7} {'zen_bdd':>9} {'zen_sat':>9}   (structural query)")
+    for lines in sizes:
+        rm = random_route_map(lines, seed=SEED)
+        f = ZenFunction(
+            lambda r: apply_route_map(rm, r), [Route], name="rm"
+        )
+
+        def query(backend):
+            return f.find(
+                lambda r, out: out.has_value()
+                & contains(out.value().communities, 0)
+                & (out.value().local_pref >= 100),
+                backend=backend,
+                max_list_length=4,
+            )
+
+        t_bdd = timed(lambda: query("bdd"), repeats)
+        t_sat = timed(lambda: query("sat"), repeats)
+        print(f"{lines:>7} {t_bdd * 1000:>9.1f} {t_sat * 1000:>9.1f}")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--full", action="store_true", help="run the larger sweeps"
+    )
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args()
+    if args.full:
+        acl_sizes = [125, 250, 500, 1000, 2000]
+        rm_sizes = [20, 40, 60, 80, 100]
+    else:
+        acl_sizes = [50, 100, 200, 400]
+        rm_sizes = [20, 60, 100]
+    acl_series(acl_sizes, args.repeats)
+    routemap_series(rm_sizes, args.repeats)
+
+
+if __name__ == "__main__":
+    main()

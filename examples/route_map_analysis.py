@@ -1,0 +1,106 @@
+"""Route map analysis: verification of BGP policy (control plane).
+
+Models a vendor-style route map and uses `find` to answer questions
+no amount of concrete testing answers exhaustively:
+
+* can any route slip past the bogon filter?
+* does the customer tag always get local-pref 200?
+* which clause is dead (matches nothing)?
+
+Run with:  python examples/route_map_analysis.py
+"""
+
+from repro import ZenFunction
+from repro.lang.listops import contains
+from repro.network import (
+    Prefix,
+    PrefixRange,
+    Route,
+    RouteMap,
+    RouteMapClause,
+    apply_route_map,
+    clause_matches,
+    ip_to_int,
+)
+
+CUSTOMER_COMMUNITY = 100
+BOGON_COMMUNITY = 666
+
+ROUTE_MAP = RouteMap.of(
+    "edge-in",
+    [
+        # Clause 1: drop anything carrying the bogon community.
+        RouteMapClause(False, match_community=BOGON_COMMUNITY),
+        # Clause 2: drop martian prefixes.
+        RouteMapClause(
+            False,
+            match_prefixes=(
+                PrefixRange(Prefix.parse("10.0.0.0/8"), ge=8, le=32),
+                PrefixRange(Prefix.parse("192.168.0.0/16"), ge=16, le=32),
+            ),
+        ),
+        # Clause 3: customer routes get high preference.
+        RouteMapClause(
+            True,
+            match_community=CUSTOMER_COMMUNITY,
+            set_local_pref=200,
+        ),
+        # Clause 4: dead clause — subsumed by clause 2.
+        RouteMapClause(
+            True,
+            match_prefixes=(
+                PrefixRange(Prefix.parse("10.1.0.0/16"), ge=16, le=32),
+            ),
+            set_local_pref=50,
+        ),
+        # Clause 5: default permit.
+        RouteMapClause(True, set_local_pref=100),
+    ],
+)
+
+
+def main() -> None:
+    f = ZenFunction(
+        lambda r: apply_route_map(ROUTE_MAP, r), [Route], name="edge-in"
+    )
+
+    # Q1: can a bogon-tagged route ever be accepted?
+    leak = f.find(
+        lambda r, out: contains(r.communities, BOGON_COMMUNITY)
+        & out.has_value(),
+        backend="sat",
+        max_list_length=2,
+    )
+    print("bogon leak possible:", leak is not None)
+
+    # Q2: do accepted customer routes always get local-pref 200?
+    cex = f.find(
+        lambda r, out: contains(r.communities, CUSTOMER_COMMUNITY)
+        & out.has_value()
+        & (out.value().local_pref != 200),
+        backend="sat",
+        max_list_length=2,
+    )
+    if cex is None:
+        print("customer routes always get local-pref 200: verified")
+    else:
+        print("counterexample:", cex)
+
+    # Q3: find dead clauses — a clause is dead if no route reaches it.
+    for index in range(len(ROUTE_MAP.clauses)):
+        def reaches(route, index=index):
+            earlier_miss = None
+            for j in range(index):
+                miss = ~clause_matches(ROUTE_MAP.clauses[j], route)
+                earlier_miss = miss if earlier_miss is None else earlier_miss & miss
+            hit = clause_matches(ROUTE_MAP.clauses[index], route)
+            return hit if earlier_miss is None else earlier_miss & hit
+
+        probe = ZenFunction(reaches, [Route], name=f"clause{index}")
+        witness = probe.find(backend="sat", max_list_length=2)
+        status = "reachable" if witness is not None else "DEAD"
+        print(f"clause {index + 1}: {status}")
+
+
+if __name__ == "__main__":
+    main()

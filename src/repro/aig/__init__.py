@@ -1,0 +1,10 @@
+"""And-inverter graph substrate with Tseitin CNF encoding.
+
+The AIG is the circuit representation produced by the bitblasting
+backend; :func:`encode` lowers it into the CDCL solver.
+"""
+
+from .graph import FALSE_LIT, TRUE_LIT, Aig
+from .tseitin import CnfMapping, encode, to_cnf
+
+__all__ = ["Aig", "TRUE_LIT", "FALSE_LIT", "encode", "to_cnf", "CnfMapping"]

@@ -1,0 +1,151 @@
+"""Tseitin transformation from AIG literals to CNF.
+
+This is the glue between the AIG built during symbolic evaluation and
+the CDCL solver: each AND gate in the cone of the query becomes three
+clauses, and the query literal is asserted as a unit clause.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..sat import Solver
+from .graph import FALSE_LIT, TRUE_LIT, Aig
+
+
+class CnfMapping:
+    """The result of encoding AIG roots into a SAT solver.
+
+    Maps AIG literals to solver (DIMACS) literals so callers can assert
+    constraints over, and read model values of, any encoded literal.
+    """
+
+    def __init__(self, solver: Solver, node_to_var: Dict[int, int]):
+        self._solver = solver
+        self._node_to_var = node_to_var
+
+    @property
+    def solver(self) -> Solver:
+        """The SAT solver that received the clauses."""
+        return self._solver
+
+    def solver_literal(self, aig_lit: int) -> Optional[int]:
+        """DIMACS literal for an AIG literal, or None if not encoded.
+
+        Constants have no solver literal; use :func:`encode` semantics
+        (constants are handled before this lookup is needed).
+        """
+        var = self._node_to_var.get(aig_lit >> 1)
+        if var is None:
+            return None
+        return -var if aig_lit & 1 else var
+
+    def model_value(self, aig_lit: int) -> bool:
+        """Value of an AIG literal in the solver's current model.
+
+        Literals outside the encoded cone are unconstrained and read as
+        False, matching the simulator's default.
+        """
+        if aig_lit == TRUE_LIT:
+            return True
+        if aig_lit == FALSE_LIT:
+            return False
+        lit = self.solver_literal(aig_lit)
+        if lit is None:
+            return False
+        value = self._solver.model_value(abs(lit))
+        return value if lit > 0 else not value
+
+
+def encode(
+    aig: Aig,
+    roots: Sequence[int],
+    solver: Optional[Solver] = None,
+    assert_roots: bool = True,
+) -> Tuple[CnfMapping, List[int]]:
+    """Tseitin-encode the cone of `roots` into a SAT solver.
+
+    Returns the mapping plus the DIMACS literals corresponding to each
+    root (in order).  When `assert_roots` is true, each root is added
+    as a unit clause, so `solver.solve()` checks their conjunction.
+
+    Constant roots are handled specially: TRUE contributes nothing,
+    FALSE makes the problem trivially unsatisfiable.
+    """
+    if solver is None:
+        solver = Solver()
+    node_to_var: Dict[int, int] = {}
+
+    cone = aig.cone(roots)
+    for node in cone:
+        node_to_var[node] = solver.new_var()
+    mapping = CnfMapping(solver, node_to_var)
+
+    for node in cone:
+        if aig.is_input(2 * node):
+            continue
+        a, b = aig.fanin(2 * node)
+        out = node_to_var[node]
+        la = _to_solver_lit(node_to_var, a)
+        lb = _to_solver_lit(node_to_var, b)
+        # out <-> (la AND lb)
+        solver.add_clause([-out, la])
+        solver.add_clause([-out, lb])
+        solver.add_clause([out, -la, -lb])
+
+    root_lits: List[int] = []
+    for root in roots:
+        if root == TRUE_LIT:
+            root_lits.append(0)
+            continue
+        if root == FALSE_LIT:
+            root_lits.append(0)
+            if assert_roots:
+                # Force unsatisfiability with a fresh contradictory pair.
+                v = solver.new_var()
+                solver.add_clause([v])
+                solver.add_clause([-v])
+            continue
+        lit = mapping.solver_literal(root)
+        assert lit is not None
+        root_lits.append(lit)
+        if assert_roots:
+            solver.add_clause([lit])
+    return mapping, root_lits
+
+
+def _to_solver_lit(node_to_var: Dict[int, int], aig_lit: int) -> int:
+    var = node_to_var[aig_lit >> 1]
+    return -var if aig_lit & 1 else var
+
+
+def to_cnf(aig: Aig, root: int) -> Tuple[int, List[List[int]], Dict[int, int]]:
+    """Standalone CNF extraction (num_vars, clauses, input literal map).
+
+    Useful for exporting DIMACS files.  The returned map sends AIG
+    input literals to DIMACS variables.
+    """
+    collector = _CollectingSolver()
+    mapping, _ = encode(aig, [root], solver=collector)  # type: ignore[arg-type]
+    input_map = {
+        lit: abs(mapping.solver_literal(lit) or 0)
+        for lit in aig.inputs
+        if mapping.solver_literal(lit) is not None
+    }
+    return collector.num_vars, collector.clauses, input_map
+
+
+class _CollectingSolver:
+    """A Solver look-alike that records clauses instead of solving."""
+
+    def __init__(self) -> None:
+        self.num_vars = 0
+        self.clauses: List[List[int]] = []
+
+    def new_var(self) -> int:
+        self.num_vars += 1
+        return self.num_vars
+
+    def add_clause(self, lits: Iterable[int]) -> bool:
+        self.clauses.append(list(lits))
+        return True

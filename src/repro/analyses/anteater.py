@@ -1,0 +1,120 @@
+"""Anteater-style reachability: per-path SAT queries (§4).
+
+Anteater (SIGCOMM'11) reduces data-plane reachability to boolean
+satisfiability.  With Zen, the same analysis is: enumerate paths,
+model path traversal with :func:`forward_along_path` (Figure 7), and
+ask ``find`` for a packet delivered along the path — using SMT-style
+reasoning, exactly as the paper sketches below Figure 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from ..core import ZenFunction
+from ..lang import Zen
+from ..network.device import Device, Interface, forward_along_path
+from ..network.packet import Packet
+from ..network.topology import Network
+
+
+def enumerate_paths(
+    network: Network,
+    source: Device,
+    target: Device,
+    max_hops: int = 8,
+) -> Iterator[List[Interface]]:
+    """Enumerate simple device paths as Figure-7 interface sequences.
+
+    A path alternates (in-interface, out-interface) per device; the
+    first device has no in-interface, so the sequence starts with any
+    of the source's unlinked (edge) interfaces.
+    """
+    def walk(device: Device, visited: Tuple[str, ...], acc: List[Interface]):
+        if device.name == target.name:
+            # Terminate at any unlinked (edge) interface of the target.
+            for out in device.interfaces:
+                if out.neighbor is None:
+                    yield acc + [out]
+            return
+        for out in device.interfaces:
+            peer = out.neighbor
+            if peer is None or peer.device.name in visited:
+                continue
+            yield from walk(
+                peer.device,
+                visited + (peer.device.name,),
+                acc + [out, peer],
+            )
+
+    if not source.interfaces:
+        return
+    # Entry point: an unlinked (edge) interface on the source device.
+    entries = [i for i in source.interfaces if i.neighbor is None]
+    if not entries:
+        entries = [source.interfaces[0]]
+    for entry in entries:
+        for path in walk(source, (source.name,), [entry]):
+            if len(path) >= 2:
+                yield path
+
+
+@dataclass(frozen=True)
+class ReachabilityResult:
+    """A witness packet and the path it is delivered along."""
+
+    packet: Packet
+    path: Tuple[str, ...]
+
+
+def find_reachable_packet(
+    network: Network,
+    source: Device,
+    target: Device,
+    backend: str = "sat",
+    max_hops: int = 8,
+    extra_property=None,
+) -> Optional[ReachabilityResult]:
+    """Find a packet deliverable from `source` to `target` on any path.
+
+    `extra_property` optionally constrains the input packet:
+    ``lambda pkt: Zen<bool>``.  Iterates over all simple paths and
+    issues one ``find`` per path (the Anteater strategy).
+    """
+    for path in enumerate_paths(network, source, target, max_hops):
+        fn = ZenFunction(
+            lambda p, path=path: forward_along_path(path, p),
+            [Packet],
+            name="path-reach",
+        )
+
+        def delivered(pkt: Zen, result: Zen) -> Zen:
+            prop = result.has_value()
+            if extra_property is not None:
+                prop = prop & extra_property(pkt)
+            return prop
+
+        witness = fn.find(delivered, backend=backend)
+        if witness is not None:
+            return ReachabilityResult(
+                packet=witness,
+                path=tuple(intf.name for intf in path),
+            )
+    return None
+
+
+def verify_isolation(
+    network: Network,
+    source: Device,
+    target: Device,
+    backend: str = "sat",
+    max_hops: int = 8,
+) -> Optional[ReachabilityResult]:
+    """Check that *no* packet reaches target from source.
+
+    Returns None when isolated, otherwise a counterexample witness.
+    """
+    return find_reachable_packet(
+        network, source, target, backend=backend, max_hops=max_hops
+    )

@@ -1,0 +1,175 @@
+"""Header space analysis (Figure 8): packet-set reachability.
+
+HSA pushes *sets* of packets through the network, exploring all paths,
+using the state set transformer abstraction.  Each interface
+contributes an inbound and an outbound transformer built from the same
+``fwd_in`` / ``fwd_out`` models used for simulation and model checking
+— the compositionality payoff of §4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..core import StateSet, TransformerContext, ZenFunction, default_context
+from ..lang import ZOption
+from ..network.device import Interface, fwd_in, fwd_out
+from ..network.packet import Packet
+from ..network.topology import Network
+
+
+@dataclass(frozen=True)
+class PathSet:
+    """A set of packets, the path they took, and why they stopped.
+
+    ``status`` is "stopped" when the set reached a device that
+    forwards it nowhere (dropped by the FIB or an outbound ACL, or it
+    left the network — the last path element tells which), and
+    "dropped_in" when an inbound ACL consumed the whole set.
+    """
+
+    path: Tuple[str, ...]
+    packets: StateSet
+    status: str = "stopped"
+
+
+class _TransformerCache:
+    """Builds and caches in/out packet-set transformers per interface."""
+
+    def __init__(self, context: TransformerContext):
+        self.context = context
+        self._in: Dict[int, object] = {}
+        self._out: Dict[int, object] = {}
+        self._some: Optional[StateSet] = None
+        self._value: Optional[object] = None
+
+    def _option_machinery(self):
+        if self._value is None:
+            has_fn = ZenFunction(
+                lambda o: o.has_value(), [ZOption[Packet]], name="has_value"
+            )
+            self._some = self.context.from_predicate(has_fn)
+            value_fn = ZenFunction(
+                lambda o: o.value(), [ZOption[Packet]], name="value"
+            )
+            self._value = value_fn.transformer(self.context)
+        return self._some, self._value
+
+    def _survivors(self, transformer) -> "callable":
+        """Set[Packet] -> Set[Packet] through an Option-returning model."""
+        some_set, value_t = self._option_machinery()
+
+        def push(packets: StateSet) -> StateSet:
+            options = transformer.transform_forward(packets)
+            return value_t.transform_forward(options.intersect(some_set))
+
+        return push
+
+    def inbound(self, intf: Interface):
+        key = id(intf)
+        if key not in self._in:
+            fn = ZenFunction(
+                lambda p, i=intf: fwd_in(i, p), [Packet], name=f"in:{intf.name}"
+            )
+            self._in[key] = self._survivors(fn.transformer(self.context))
+        return self._in[key]
+
+    def outbound(self, intf: Interface):
+        key = id(intf)
+        if key not in self._out:
+            fn = ZenFunction(
+                lambda p, i=intf: fwd_out(i, p),
+                [Packet],
+                name=f"out:{intf.name}",
+            )
+            self._out[key] = self._survivors(fn.transformer(self.context))
+        return self._out[key]
+
+
+def hsa_explore(
+    entry: Interface,
+    packets: StateSet,
+    context: Optional[TransformerContext] = None,
+    max_depth: int = 16,
+) -> Iterator[PathSet]:
+    """Explore all paths a packet set can take from an entry interface.
+
+    Yields a :class:`PathSet` whenever a (non-empty) set of packets
+    stops moving: it is dropped at the current device, or it leaves the
+    network through an unlinked interface.  This is the algorithm of
+    Figure 8, with transformers computing the per-hop packet sets.
+    """
+    if context is None:
+        context = default_context()
+    cache = _TransformerCache(context)
+    queue: List[Tuple[Tuple[str, ...], Interface, StateSet, int]] = [
+        ((entry.name,), entry, packets, 0)
+    ]
+    while queue:
+        path, intf, current, depth = queue.pop(0)
+        in_set = cache.inbound(intf)(current)
+        if in_set.is_empty():
+            yield PathSet(path, current, status="dropped_in")
+            continue
+        forwarded = False
+        for out_intf in intf.device.interfaces:
+            out_set = cache.outbound(out_intf)(in_set)
+            if out_set.is_empty():
+                continue
+            forwarded = True
+            new_path = path + (out_intf.name,)
+            if out_intf.neighbor is None or depth + 1 >= max_depth:
+                yield PathSet(new_path, out_set)
+            else:
+                queue.append(
+                    (
+                        new_path + (out_intf.neighbor.name,),
+                        out_intf.neighbor,
+                        out_set,
+                        depth + 1,
+                    )
+                )
+        if not forwarded:
+            yield PathSet(path, in_set)
+
+
+def reachable_sets(
+    network: Network,
+    entry: Interface,
+    context: Optional[TransformerContext] = None,
+    max_depth: int = 16,
+    packets: Optional[StateSet] = None,
+) -> List[PathSet]:
+    """All terminal path sets from an entry interface.
+
+    Defaults to the full packet universe.  For networks whose devices
+    create cross-field correlations (e.g. tunnel encapsulation copying
+    ports between headers), pass a constrained entry set — fully
+    symbolic correlated fields are the classic worst case for BDD
+    packet sets.
+    """
+    if context is None:
+        context = default_context()
+    if packets is None:
+        packets = context.universe(Packet)
+    return list(hsa_explore(entry, packets, context, max_depth=max_depth))
+
+
+def reachable_between(
+    network: Network,
+    entry: Interface,
+    exit_intf: Interface,
+    context: Optional[TransformerContext] = None,
+    max_depth: int = 16,
+) -> StateSet:
+    """The set of packets that can travel from `entry` out of
+    `exit_intf` along some path."""
+    if context is None:
+        context = default_context()
+    universe = context.universe(Packet)
+    result = context.empty_set(Packet)
+    for path_set in hsa_explore(entry, universe, context, max_depth):
+        if path_set.status == "stopped" and path_set.path[-1] == exit_intf.name:
+            result = result.union(path_set.packets)
+    return result

@@ -1,0 +1,210 @@
+"""Minesweeper-style control plane verification: stable path constraints.
+
+Minesweeper (SIGCOMM'17) encodes the *stable states* of distributed
+routing as logical constraints: an assignment of a best route to every
+router is stable iff each router's choice is the best of what its
+neighbors would advertise to it under that same assignment.  Searching
+for a stable state that violates a property then verifies the control
+plane without simulating convergence.
+
+Here the encoding is plain Zen: the network state is an object with
+one ``Option[Route]`` field per router, ``stable`` is an ordinary Zen
+boolean function, and ``find`` searches for stable states — the
+constraint solving the paper lists as "stable path constraints"
+backed by an SMT solver.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core import ZenFunction
+from ..errors import ZenTypeError
+from ..lang import Zen, ZOption, constant, if_, none, register_object, some
+from ..lang.listops import length
+from ..network.routemap import Route, RouteMap, apply_route_map
+from ..lang import cons as zen_cons
+from ..lang import UShort
+
+
+@dataclasses.dataclass(frozen=True)
+class BgpEdge:
+    """A BGP session: routes flow from `src` to `dst`.
+
+    The export policy runs at `src`, then the sender's AS number is
+    prepended, then the import policy runs at `dst`.
+    """
+
+    src: str
+    dst: str
+    export_policy: Optional[RouteMap] = None
+    import_policy: Optional[RouteMap] = None
+
+
+class BgpNetwork:
+    """A small BGP network for stable-state analysis."""
+
+    def __init__(self) -> None:
+        self._nodes: Dict[str, int] = {}  # name -> AS number
+        self._edges: List[BgpEdge] = []
+        self._origins: Dict[str, Route] = {}
+
+    def add_router(self, name: str, asn: int) -> None:
+        """Add a router with its AS number."""
+        if name in self._nodes:
+            raise ZenTypeError(f"duplicate router {name!r}")
+        self._nodes[name] = asn
+
+    def add_session(
+        self,
+        src: str,
+        dst: str,
+        export_policy: Optional[RouteMap] = None,
+        import_policy: Optional[RouteMap] = None,
+    ) -> None:
+        """Add a unidirectional advertisement edge src -> dst."""
+        for name in (src, dst):
+            if name not in self._nodes:
+                raise ZenTypeError(f"unknown router {name!r}")
+        self._edges.append(BgpEdge(src, dst, export_policy, import_policy))
+
+    def originate(self, router: str, route: Route) -> None:
+        """Make a router originate a (concrete) route."""
+        if router not in self._nodes:
+            raise ZenTypeError(f"unknown router {router!r}")
+        self._origins[router] = route
+
+    @property
+    def routers(self) -> List[str]:
+        return list(self._nodes)
+
+    @property
+    def edges(self) -> List[BgpEdge]:
+        return list(self._edges)
+
+    def asn(self, router: str) -> int:
+        return self._nodes[router]
+
+    # ------------------------------------------------------------------
+    # The Zen encoding
+    # ------------------------------------------------------------------
+
+    def state_type(self) -> type:
+        """A dataclass with one Option[Route] field per router."""
+        if not self._nodes:
+            raise ZenTypeError("network has no routers")
+        fields = [(name, ZOption[Route]) for name in self._nodes]
+        cls = dataclasses.make_dataclass(
+            f"BgpState_{'_'.join(self._nodes)}", fields, frozen=True
+        )
+        return register_object(cls)
+
+    def advertise(self, edge: BgpEdge, route_opt: Zen) -> Zen:
+        """What `edge.dst` hears given `edge.src`'s chosen route."""
+        def through_policies(route: Zen) -> Zen:
+            out = (
+                apply_route_map(edge.export_policy, route)
+                if edge.export_policy is not None
+                else some(route)
+            )
+            def import_side(r: Zen) -> Zen:
+                prepended = r.with_field(
+                    "as_path",
+                    zen_cons(constant(self.asn(edge.src), UShort), r.as_path),
+                )
+                if edge.import_policy is not None:
+                    return apply_route_map(edge.import_policy, prepended)
+                return some(prepended)
+            return if_(
+                out.has_value(), import_side(out.value()), none(Route)
+            )
+
+        return if_(
+            route_opt.has_value(),
+            through_policies(route_opt.value()),
+            none(Route),
+        )
+
+    def better(self, a: Zen, b: Zen) -> Zen:
+        """BGP preference between two optional routes (a over b)."""
+        a_lp, b_lp = a.value().local_pref, b.value().local_pref
+        a_len, b_len = length(a.value().as_path), length(b.value().as_path)
+        a_med, b_med = a.value().med, b.value().med
+        a_wins = (
+            (a_lp > b_lp)
+            | ((a_lp == b_lp) & (a_len < b_len))
+            | ((a_lp == b_lp) & (a_len == b_len) & (a_med <= b_med))
+        )
+        return if_(
+            ~b.has_value(),
+            a,
+            if_(~a.has_value(), b, if_(a_wins, a, b)),
+        )
+
+    def best_choice(self, router: str, state: Zen) -> Zen:
+        """The best route `router` can select under `state`."""
+        candidates: List[Zen] = []
+        if router in self._origins:
+            candidates.append(
+                some(constant(self._origins[router], Route))
+            )
+        for edge in self._edges:
+            if edge.dst != router:
+                continue
+            candidates.append(self.advertise(edge, state.field(edge.src)))
+        best = none(Route)
+        for candidate in candidates:
+            best = self.better(candidate, best)
+        return best
+
+    def stable(self, state: Zen) -> Zen:
+        """Whether a state satisfies the stable path constraints."""
+        result = constant(True, bool)
+        for router in self._nodes:
+            result = result & (
+                state.field(router) == self.best_choice(router, state)
+            )
+        return result
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def find_stable_state(
+        self,
+        violating: Optional[Callable[[Zen], Zen]] = None,
+        backend: str = "sat",
+        max_list_length: int = 2,
+    ):
+        """Find a stable state, optionally violating a property.
+
+        `violating` receives the state (Zen object with one field per
+        router) and returns Zen<bool>; the search looks for a stable
+        state where it holds.  Returns a concrete state object or
+        None.
+        """
+        state_cls = self.state_type()
+
+        def constraint(state: Zen) -> Zen:
+            cond = self.stable(state)
+            if violating is not None:
+                cond = cond & violating(state)
+            return cond
+
+        fn = ZenFunction(constraint, [state_cls], name="stable")
+        return fn.find(backend=backend, max_list_length=max_list_length)
+
+    def verify_stable_property(
+        self,
+        holds: Callable[[Zen], Zen],
+        backend: str = "sat",
+        max_list_length: int = 2,
+    ):
+        """Check `holds` on every stable state; returns a violating
+        stable state or None when the property is verified."""
+        return self.find_stable_state(
+            violating=lambda state: ~holds(state),
+            backend=backend,
+            max_list_length=max_list_length,
+        )

@@ -1,0 +1,138 @@
+"""Shapeshifter-style abstract interpretation of the control plane.
+
+Shapeshifter (POPL'20) verifies routing by *abstract interpretation*:
+routes are abstracted into a small lattice and propagated to a
+fixpoint, soundly over-/under-approximating which destinations each
+router can learn.
+
+The Zen twist (Table 1): the abstract transfer functions are written
+as ordinary Zen models over a ternary lattice, so the same abstract
+domain is executable (run the fixpoint concretely, as here), checkable
+with ``find`` (e.g. "is there an edge labeling where the abstract
+result claims unreachability?"), and composable with other models.
+
+Lattice: 0 = NEVER (no route), 1 = MAYBE (route on some but possibly
+not all concrete executions), 2 = ALWAYS (route guaranteed).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..core import ZenFunction
+from ..errors import ZenTypeError
+from ..lang import Byte, Zen, constant, if_
+
+NEVER = 0
+MAYBE = 1
+ALWAYS = 2
+
+
+def abstract_join(a: Zen, b: Zen) -> Zen:
+    """Join of two abstract route values (pointwise max).
+
+    Learning from several neighbors: the best case dominates.
+    """
+    return if_(a >= b, a, b)
+
+
+def abstract_transfer(edge_label: int, value: Zen) -> Zen:
+    """Propagate an abstract value across an edge.
+
+    `edge_label` abstracts the edge's policy: NEVER blocks all routes,
+    MAYBE may filter (degrades ALWAYS to MAYBE), ALWAYS passes
+    everything through.
+    """
+    if edge_label == NEVER:
+        return constant(NEVER, Byte)
+    if edge_label == MAYBE:
+        return if_(value == ALWAYS, constant(MAYBE, Byte), value)
+    if edge_label == ALWAYS:
+        return value
+    raise ZenTypeError(f"unknown edge label {edge_label}")
+
+
+class AbstractControlPlane:
+    """A routing graph with abstract edge policies."""
+
+    def __init__(self) -> None:
+        self._nodes: List[str] = []
+        self._edges: List[Tuple[str, str, int]] = []
+        self._origin: Optional[str] = None
+
+    def add_router(self, name: str) -> None:
+        if name in self._nodes:
+            raise ZenTypeError(f"duplicate router {name!r}")
+        self._nodes.append(name)
+
+    def add_edge(self, src: str, dst: str, label: int = ALWAYS) -> None:
+        """Routes flow src -> dst through an abstract policy label."""
+        for name in (src, dst):
+            if name not in self._nodes:
+                raise ZenTypeError(f"unknown router {name!r}")
+        self._edges.append((src, dst, label))
+
+    def originate(self, router: str) -> None:
+        if router not in self._nodes:
+            raise ZenTypeError(f"unknown router {router!r}")
+        self._origin = router
+
+    # ------------------------------------------------------------------
+
+    def step_model(self) -> Dict[str, ZenFunction]:
+        """One Zen model per router: its abstract update function.
+
+        Each function maps the router's current inputs (joined
+        neighbor values) to its next abstract value — these are the
+        executable abstract transfer functions.
+        """
+        models: Dict[str, ZenFunction] = {}
+        for node in self._nodes:
+            def update(value: Zen, node=node) -> Zen:
+                # Identity on the joined input; the per-edge transfer
+                # happens in propagate().  Kept as a model so users
+                # can `find` over it.
+                return value
+
+            models[node] = ZenFunction(update, [Byte], name=f"abs:{node}")
+        return models
+
+    def propagate(self, max_iterations: int = 64) -> Dict[str, int]:
+        """Run the abstract fixpoint concretely (executing Zen models).
+
+        Returns the abstract route value at every router.
+        """
+        if self._origin is None:
+            raise ZenTypeError("no originating router configured")
+        state: Dict[str, int] = {n: NEVER for n in self._nodes}
+        state[self._origin] = ALWAYS
+        join_fn = ZenFunction(
+            lambda a, b: abstract_join(a, b), [Byte, Byte], name="join"
+        )
+        transfer_fns = {
+            label: ZenFunction(
+                lambda v, label=label: abstract_transfer(label, v),
+                [Byte],
+                name=f"transfer:{label}",
+            )
+            for label in (NEVER, MAYBE, ALWAYS)
+        }
+        for _ in range(max_iterations):
+            changed = False
+            for node in self._nodes:
+                value = ALWAYS if node == self._origin else NEVER
+                for src, dst, label in self._edges:
+                    if dst != node:
+                        continue
+                    incoming = transfer_fns[label].evaluate(state[src])
+                    value = join_fn.evaluate(value, incoming)
+                if value != state[node]:
+                    state[node] = value
+                    changed = True
+            if not changed:
+                break
+        return state
+
+    def check_reachability(self, router: str) -> int:
+        """The abstract reachability verdict for one router."""
+        return self.propagate()[router]

@@ -1,0 +1,54 @@
+"""Evaluation backends: concrete interpreter, symbolic bitblaster,
+and the SAT/BDD Boolean engines they plug into."""
+
+from .bdd_backend import BddBackend, BddModel
+from .concrete import ConcreteEvaluator
+from .interface import Bit, BoolBackend, Model, bit_value, const_bit
+from .sat_backend import SatBackend, SatModel
+from .symbolic import SymbolicEvaluator
+from .values import (
+    SymBool,
+    SymInt,
+    SymList,
+    SymMap,
+    SymObject,
+    SymOption,
+    SymTuple,
+    SymValue,
+    decode,
+    default,
+    equal,
+    fresh,
+    from_constant,
+    input_bits,
+    merge,
+)
+
+__all__ = [
+    "ConcreteEvaluator",
+    "SymbolicEvaluator",
+    "SatBackend",
+    "SatModel",
+    "BddBackend",
+    "BddModel",
+    "BoolBackend",
+    "Model",
+    "Bit",
+    "bit_value",
+    "const_bit",
+    "SymValue",
+    "SymBool",
+    "SymInt",
+    "SymTuple",
+    "SymObject",
+    "SymOption",
+    "SymList",
+    "SymMap",
+    "decode",
+    "default",
+    "equal",
+    "fresh",
+    "from_constant",
+    "input_bits",
+    "merge",
+]

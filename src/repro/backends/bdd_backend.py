@@ -1,0 +1,87 @@
+"""The BDD backend: bits are BDD nodes; solving is a sat-path walk.
+
+Fresh inputs append variables to the manager's order, so callers that
+care about interleaving (the transformer machinery, §6) pre-allocate
+inputs in their preferred order simply by the sequence of ``fresh``
+calls.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..bdd import FALSE, TRUE, Bdd
+from .interface import Bit
+
+
+class BddModel:
+    """A satisfying assignment over BDD variables."""
+
+    def __init__(self, manager: Bdd, assignment: Dict[int, bool]):
+        self._manager = manager
+        self._assignment = assignment
+
+    def value(self, bit: Bit) -> bool:
+        """Value of a bit under the model.
+
+        Works for plain variable nodes and for composite nodes (e.g.
+        the derived presence guards of symbolic lists) by evaluating
+        the node under the assignment; unassigned variables read as
+        False, consistent with how partial sat-paths are totalized.
+        """
+        return self._manager.evaluate(bit, self._assignment)
+
+
+class BddBackend:
+    """Boolean backend over the ROBDD manager."""
+
+    def __init__(self, manager: Optional[Bdd] = None) -> None:
+        self._manager = manager if manager is not None else Bdd()
+        self._var_names: Dict[int, str] = {}
+
+    @property
+    def manager(self) -> Bdd:
+        """The underlying BDD manager."""
+        return self._manager
+
+    def true(self) -> Bit:
+        return TRUE
+
+    def false(self) -> Bit:
+        return FALSE
+
+    def fresh(self, name: str) -> Bit:
+        node = self._manager.new_var()
+        self._var_names[self._manager.num_vars - 1] = name
+        return node
+
+    def and_(self, a: Bit, b: Bit) -> Bit:
+        return self._manager.and_(a, b)
+
+    def or_(self, a: Bit, b: Bit) -> Bit:
+        return self._manager.or_(a, b)
+
+    def not_(self, a: Bit) -> Bit:
+        return self._manager.not_(a)
+
+    def xor(self, a: Bit, b: Bit) -> Bit:
+        return self._manager.xor(a, b)
+
+    def iff(self, a: Bit, b: Bit) -> Bit:
+        return self._manager.iff(a, b)
+
+    def ite(self, c: Bit, t: Bit, e: Bit) -> Bit:
+        return self._manager.ite(c, t, e)
+
+    def is_true(self, a: Bit) -> bool:
+        return a == TRUE
+
+    def is_false(self, a: Bit) -> bool:
+        return a == FALSE
+
+    def solve(self, constraint: Bit) -> Optional[BddModel]:
+        """Walk a satisfying path through the constraint BDD."""
+        assignment = self._manager.any_sat(constraint)
+        if assignment is None:
+            return None
+        return BddModel(self._manager, assignment)

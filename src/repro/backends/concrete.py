@@ -1,0 +1,245 @@
+"""Concrete evaluation of Zen expressions (simulation, §4).
+
+Because Zen models are executable, passing concrete values for the
+arguments turns any model into a simulator (the Batfish-style
+analysis).  The evaluator is iterative (explicit work stack) so deep
+``if`` chains — e.g. an ACL with thousands of rules — do not overflow
+the Python call stack.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import ZenEvaluationError
+from ..lang import expr as ex
+from ..lang import types as ty
+
+_EXPAND = 0
+_REDUCE = 1
+_FORWARD = 2
+
+
+class ConcreteEvaluator:
+    """Evaluates expression trees over concrete Python values.
+
+    One evaluator instance is one evaluation session: list-case
+    branches are invoked with values lifted under this session token,
+    and results are memoized per node for sharing.
+    """
+
+    def __init__(self, env: Optional[Dict[str, Any]] = None):
+        self._env = dict(env or {})
+        self._memo: Dict[ex.Expr, Any] = {}
+
+    def evaluate(self, expr: ex.Expr) -> Any:
+        """Evaluate an expression to a concrete Python value."""
+        memo = self._memo
+        # Work stack of (phase, node, extra).  EXPAND visits children,
+        # REDUCE computes a node from its memoized children, FORWARD
+        # copies another node's value (if/case branch indirection).
+        stack: List[Tuple[int, ex.Expr, Any]] = [(_EXPAND, expr, None)]
+        while stack:
+            phase, node, extra = stack.pop()
+            if phase == _FORWARD:
+                memo[node] = memo[extra]
+                continue
+            if node in memo:
+                continue
+            if phase == _EXPAND:
+                self._expand(node, stack)
+            elif isinstance(node, ex.If):
+                self._branch_if(node, stack)
+            elif isinstance(node, ex.ListCase):
+                self._branch_case(node, stack)
+            else:
+                memo[node] = self._reduce(node)
+        return memo[expr]
+
+    # ------------------------------------------------------------------
+
+    def _expand(self, node: ex.Expr, stack: list) -> None:
+        memo = self._memo
+        if isinstance(node, ex.Constant):
+            memo[node] = node.value
+            return
+        if isinstance(node, ex.Var):
+            if node.name not in self._env:
+                raise ZenEvaluationError(
+                    f"unbound variable {node.name!r} in concrete evaluation"
+                )
+            memo[node] = ty.check_value(node.type, self._env[node.name])
+            return
+        if isinstance(node, ex.Lifted):
+            if node.session is not self:
+                raise ZenEvaluationError(
+                    "lifted value used outside its evaluation session"
+                )
+            memo[node] = node.payload
+            return
+        if isinstance(node, ex.If):
+            # Lazy: evaluate the condition, then only the taken branch.
+            stack.append((_REDUCE, node, None))
+            stack.append((_EXPAND, node.cond, None))
+            return
+        if isinstance(node, ex.ListCase):
+            # Evaluate the scrutinee first; branch at reduce time.
+            stack.append((_REDUCE, node, None))
+            stack.append((_EXPAND, node.lst, None))
+            return
+        stack.append((_REDUCE, node, None))
+        for child in node.children:
+            stack.append((_EXPAND, child, None))
+
+    def _branch_if(self, node: ex.If, stack: list) -> None:
+        taken = node.then if self._memo[node.cond] else node.orelse
+        if taken in self._memo:
+            self._memo[node] = self._memo[taken]
+            return
+        stack.append((_FORWARD, node, taken))
+        stack.append((_EXPAND, taken, None))
+
+    def _branch_case(self, node: ex.ListCase, stack: list) -> None:
+        value = self._memo[node.lst]
+        elem_type = node.lst.type.element  # type: ignore[attr-defined]
+        if value:
+            head = ex.Lifted(value[0], elem_type, self)
+            tail = ex.Lifted(list(value[1:]), node.lst.type, self)
+            branch = node.cons(head, tail)
+        else:
+            branch = node.empty()
+        if branch.type != node.type:
+            raise ZenEvaluationError(
+                f"case branches disagree: {branch.type} vs {node.type}"
+            )
+        if branch in self._memo:
+            self._memo[node] = self._memo[branch]
+            return
+        stack.append((_FORWARD, node, branch))
+        stack.append((_EXPAND, branch, None))
+
+    def _reduce(self, node: ex.Expr) -> Any:
+        memo = self._memo
+        if isinstance(node, ex.Binary):
+            return _binary(node.op, memo[node.left], memo[node.right], node)
+        if isinstance(node, ex.Unary):
+            return _unary(node.op, memo[node.operand], node)
+        if isinstance(node, ex.Create):
+            cls = node.type.cls  # type: ignore[attr-defined]
+            return cls(
+                **{name: memo[child] for name, child in node.fields.items()}
+            )
+        if isinstance(node, ex.GetField):
+            return getattr(memo[node.obj], node.field)
+        if isinstance(node, ex.WithField):
+            return dataclasses.replace(
+                memo[node.obj], **{node.field: memo[node.value]}
+            )
+        if isinstance(node, ex.MakeTuple):
+            return tuple(memo[item] for item in node.items)
+        if isinstance(node, ex.TupleGet):
+            return memo[node.tup][node.index]
+        if isinstance(node, ex.ListEmpty):
+            return []
+        if isinstance(node, ex.ListCons):
+            return [memo[node.head]] + list(memo[node.tail])
+        if isinstance(node, ex.OptionNone):
+            return None
+        if isinstance(node, ex.OptionSome):
+            return memo[node.value]
+        if isinstance(node, ex.OptionHasValue):
+            return memo[node.opt] is not None
+        if isinstance(node, ex.OptionValue):
+            value = memo[node.opt]
+            if value is None:
+                return ty.default_value(node.type)
+            return value
+        if isinstance(node, ex.Adapt):
+            return _adapt(memo[node.operand], node.operand.type, node.type)
+        raise ZenEvaluationError(f"cannot evaluate node {node!r}")
+
+
+def _binary(op: str, left: Any, right: Any, node: ex.Binary) -> Any:
+    if op == "and":
+        return left and right
+    if op == "or":
+        return left or right
+    if op == "eq":
+        return left == right
+    if op == "ne":
+        return left != right
+    if op in ("lt", "le", "gt", "ge"):
+        table = {
+            "lt": left < right,
+            "le": left <= right,
+            "gt": left > right,
+            "ge": left >= right,
+        }
+        return table[op]
+    int_type = node.type
+    assert isinstance(int_type, ty.IntType)
+    if op == "add":
+        return int_type.wrap(left + right)
+    if op == "sub":
+        return int_type.wrap(left - right)
+    if op == "mul":
+        return int_type.wrap(left * right)
+    if op == "band":
+        return int_type.wrap(
+            _unsigned(left, int_type) & _unsigned(right, int_type)
+        )
+    if op == "bor":
+        return int_type.wrap(
+            _unsigned(left, int_type) | _unsigned(right, int_type)
+        )
+    if op == "bxor":
+        return int_type.wrap(
+            _unsigned(left, int_type) ^ _unsigned(right, int_type)
+        )
+    if op == "shl":
+        amount = _unsigned(right, int_type)
+        if amount >= int_type.width:
+            return 0
+        return int_type.wrap(_unsigned(left, int_type) << amount)
+    if op == "shr":
+        amount = _unsigned(right, int_type)
+        if int_type.signed:
+            if amount >= int_type.width:
+                return -1 if left < 0 else 0
+            return int_type.wrap(left >> amount)
+        if amount >= int_type.width:
+            return 0
+        return int_type.wrap(_unsigned(left, int_type) >> amount)
+    raise ZenEvaluationError(f"unknown binary op {op}")
+
+
+def _unsigned(value: int, int_type: ty.IntType) -> int:
+    return value & ((1 << int_type.width) - 1)
+
+
+def _unary(op: str, operand: Any, node: ex.Unary) -> Any:
+    if op == "not":
+        return not operand
+    int_type = node.type
+    assert isinstance(int_type, ty.IntType)
+    if op == "bnot":
+        return int_type.wrap(~_unsigned(operand, int_type))
+    if op == "neg":
+        return int_type.wrap(-operand)
+    raise ZenEvaluationError(f"unknown unary op {op}")
+
+
+def _adapt(value: Any, source: ty.ZenType, target: ty.ZenType) -> Any:
+    if isinstance(source, ty.MapType):
+        # Map -> list of pairs, most recently set first.
+        pairs = [(k, v) for k, v in value.items()]
+        pairs.reverse()
+        return pairs
+    if isinstance(target, ty.MapType):
+        # List of pairs -> map; the head of the list wins.
+        result: Dict[Any, Any] = {}
+        for key, val in reversed(value):
+            result[key] = val
+        return result
+    raise ZenEvaluationError(f"no adaptation from {source} to {target}")

@@ -1,0 +1,122 @@
+"""The SAT ("SMT") backend: bits are AIG literals, solving is CDCL.
+
+This mirrors the paper's Z3 bitvector backend: symbolic evaluation
+produces a circuit, which is bitblasted (Tseitin) to CNF and handed to
+the CDCL solver.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..aig import FALSE_LIT, TRUE_LIT, Aig, CnfMapping, encode
+from .interface import Bit
+
+
+class SatModel:
+    """A satisfying assignment for an AIG-based query.
+
+    The model stores concrete values for the primary inputs (inputs
+    outside the encoded cone default to False) and evaluates any other
+    literal by circuit simulation, so decoding works for arbitrary
+    derived bits, not just those the CNF encoding happened to cover.
+    """
+
+    def __init__(self, aig: Aig, input_values: dict):
+        self._aig = aig
+        self._sim = aig.simulate(input_values)
+
+    def value(self, bit: Bit) -> bool:
+        """Value of any AIG literal under the model."""
+        return self._sim[bit]
+
+
+class SatBackend:
+    """Boolean backend over an and-inverter graph + CDCL solver."""
+
+    def __init__(self) -> None:
+        self._aig = Aig()
+
+    @property
+    def aig(self) -> Aig:
+        """The underlying circuit (exposed for statistics and export)."""
+        return self._aig
+
+    def true(self) -> Bit:
+        return TRUE_LIT
+
+    def false(self) -> Bit:
+        return FALSE_LIT
+
+    def fresh(self, name: str) -> Bit:
+        return self._aig.new_input()
+
+    def and_(self, a: Bit, b: Bit) -> Bit:
+        return self._aig.and_(a, b)
+
+    def or_(self, a: Bit, b: Bit) -> Bit:
+        return self._aig.or_(a, b)
+
+    def not_(self, a: Bit) -> Bit:
+        return self._aig.not_(a)
+
+    def xor(self, a: Bit, b: Bit) -> Bit:
+        return self._aig.xor(a, b)
+
+    def iff(self, a: Bit, b: Bit) -> Bit:
+        return self._aig.iff(a, b)
+
+    def ite(self, c: Bit, t: Bit, e: Bit) -> Bit:
+        return self._aig.ite(c, t, e)
+
+    def is_true(self, a: Bit) -> bool:
+        return a == TRUE_LIT
+
+    def is_false(self, a: Bit) -> bool:
+        return a == FALSE_LIT
+
+    def solve(self, constraint: Bit) -> Optional[SatModel]:
+        """Bitblast the constraint and search for a model."""
+        if constraint == FALSE_LIT:
+            return None
+        mapping, _ = encode(self._aig, [constraint])
+        if not mapping.solver.solve():
+            return None
+        input_values = {
+            lit: mapping.model_value(lit) for lit in self._aig.inputs
+        }
+        return SatModel(self._aig, input_values)
+
+    def solve_all(self, constraint: Bit, over: List[Bit], limit: int):
+        """Enumerate models projected onto the given input bits.
+
+        Yields :class:`SatModel`-compatible snapshots; used by test
+        input generation.  `limit` bounds the number of models.
+        """
+        if constraint == FALSE_LIT:
+            return
+        mapping, _ = encode(self._aig, [constraint])
+        solver = mapping.solver
+        produced = 0
+        while produced < limit and solver.solve():
+            snapshot = {bit: mapping.model_value(bit) for bit in over}
+            yield _FixedModel(snapshot)
+            produced += 1
+            blocking = []
+            for bit in over:
+                lit = mapping.solver_literal(bit)
+                if lit is None:
+                    continue
+                blocking.append(-lit if snapshot[bit] else lit)
+            if not blocking or not solver.add_clause(blocking):
+                return
+
+
+class _FixedModel:
+    """An immutable snapshot of input-bit values."""
+
+    def __init__(self, values: dict):
+        self._values = values
+
+    def value(self, bit: Bit) -> bool:
+        return self._values.get(bit, False)

@@ -1,0 +1,5 @@
+"""Hand-optimized baselines that bypass the Zen language layer."""
+
+from .batfish_acl import BatfishAclEncoder, find_packet_matching_last_line
+
+__all__ = ["BatfishAclEncoder", "find_packet_matching_last_line"]

@@ -1,0 +1,174 @@
+"""A hand-optimized, direct-to-BDD ACL verifier (the "Batfish" baseline).
+
+Figure 10 (left) compares Zen's automatically generated BDD encoding
+against Batfish's hand-optimized BDD encoding of ACLs.  This module is
+that baseline: it bypasses the Zen language entirely and encodes ACL
+matching straight into BDD operations with the classic tricks —
+
+* one BDD variable per header bit, MSB first, fields laid out
+  ``dst_ip, src_ip, dst_port, src_port, protocol``;
+* prefixes as linear-size cubes over the top bits;
+* port intervals via the standard recursive range construction
+  (linear in the bit width, not in the interval size);
+* first-match-wins fold with a running "not matched earlier" BDD.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..bdd import Bdd
+from ..network.acl import Acl, AclRule
+from ..network.packet import Header
+
+_FIELDS = (
+    ("dst_ip", 32),
+    ("src_ip", 32),
+    ("dst_port", 16),
+    ("src_port", 16),
+    ("protocol", 8),
+)
+
+
+class BatfishAclEncoder:
+    """Encodes an ACL into BDDs over a dedicated manager."""
+
+    def __init__(self) -> None:
+        self.manager = Bdd()
+        self._field_vars: Dict[str, List[int]] = {}
+        for name, width in _FIELDS:
+            # MSB-first var order within each field: prefix matches
+            # constrain a contiguous leading block of variables.
+            indices = []
+            for _ in range(width):
+                self.manager.new_var()
+                indices.append(self.manager.num_vars - 1)
+            self._field_vars[name] = indices
+
+    # ------------------------------------------------------------------
+    # Primitive encodings
+    # ------------------------------------------------------------------
+
+    def field_vars(self, name: str) -> List[int]:
+        """MSB-first variable indices of a header field."""
+        return list(self._field_vars[name])
+
+    def prefix_bdd(self, field: str, address: int, length: int) -> int:
+        """BDD for ``field matches address/length`` (a cube)."""
+        manager = self.manager
+        variables = self._field_vars[field]
+        width = len(variables)
+        result = 1  # TRUE
+        for i in range(length):
+            bit = (address >> (width - 1 - i)) & 1
+            var = (
+                manager.var(variables[i]) if bit else manager.nvar(variables[i])
+            )
+            result = manager.and_(result, var)
+        return result
+
+    def range_bdd(self, field: str, low: int, high: int) -> int:
+        """BDD for ``low <= field <= high`` (linear in bit width)."""
+        variables = self._field_vars[field]
+        width = len(variables)
+        return self.manager.and_(
+            self._geq(variables, low, width),
+            self._leq(variables, high, width),
+        )
+
+    def _geq(self, variables: List[int], bound: int, width: int) -> int:
+        # Build from LSB to MSB: geq_i = value of comparing suffix.
+        manager = self.manager
+        result = 1  # empty suffix: >= 0 residue is true (equality case)
+        for i in reversed(range(width)):
+            bit = (bound >> (width - 1 - i)) & 1
+            var = manager.var(variables[i])
+            if bit:
+                result = manager.and_(var, result)
+            else:
+                result = manager.or_(var, result)
+        return result
+
+    def _leq(self, variables: List[int], bound: int, width: int) -> int:
+        manager = self.manager
+        result = 1
+        for i in reversed(range(width)):
+            bit = (bound >> (width - 1 - i)) & 1
+            var = manager.var(variables[i])
+            if bit:
+                result = manager.or_(manager.not_(var), result)
+            else:
+                result = manager.and_(manager.not_(var), result)
+        return result
+
+    def rule_bdd(self, rule: AclRule) -> int:
+        """BDD for one rule's match condition."""
+        manager = self.manager
+        result = self.prefix_bdd("src_ip", rule.src.address, rule.src.length)
+        result = manager.and_(
+            result, self.prefix_bdd("dst_ip", rule.dst.address, rule.dst.length)
+        )
+        if result == 0:
+            return 0
+        if rule.src_ports is not None:
+            result = manager.and_(
+                result, self.range_bdd("src_port", *rule.src_ports)
+            )
+        if rule.dst_ports is not None:
+            result = manager.and_(
+                result, self.range_bdd("dst_port", *rule.dst_ports)
+            )
+        if rule.protocol is not None:
+            result = manager.and_(
+                result, self.range_bdd("protocol", rule.protocol, rule.protocol)
+            )
+        return result
+
+    # ------------------------------------------------------------------
+    # ACL-level queries
+    # ------------------------------------------------------------------
+
+    def match_line_bdds(self, acl: Acl) -> List[int]:
+        """Per-line BDDs of packets whose *first* match is that line."""
+        manager = self.manager
+        unmatched = 1  # packets that fell through all earlier lines
+        result = []
+        for rule in acl.rules:
+            match = self.rule_bdd(rule)
+            result.append(manager.and_(unmatched, match))
+            unmatched = manager.and_(unmatched, manager.not_(match))
+        return result
+
+    def allowed_bdd(self, acl: Acl) -> int:
+        """BDD of all packets the ACL permits."""
+        manager = self.manager
+        allowed = 0
+        for line, rule in zip(self.match_line_bdds(acl), acl.rules):
+            if rule.action:
+                allowed = manager.or_(allowed, line)
+        return allowed
+
+    def decode(self, assignment: Dict[int, bool]) -> Header:
+        """Decode a BDD assignment into a concrete header."""
+        values = {}
+        for name, width in _FIELDS:
+            variables = self._field_vars[name]
+            value = 0
+            for i in range(width):
+                value = (value << 1) | int(assignment.get(variables[i], False))
+            values[name] = value
+        return Header(**values)
+
+
+def find_packet_matching_last_line(acl: Acl) -> Optional[Header]:
+    """The Figure-10 query: a packet whose first match is the last line.
+
+    Returns a concrete header, or None when the last line is dead.
+    """
+    encoder = BatfishAclEncoder()
+    lines = encoder.match_line_bdds(acl)
+    target = lines[-1]
+    assignment = encoder.manager.any_sat(target)
+    if assignment is None:
+        return None
+    return encoder.decode(assignment)

@@ -1,0 +1,21 @@
+"""Binary decision diagram substrate.
+
+Provides the ROBDD manager used by the Zen BDD backend and the state
+set transformer abstraction, plus variable-ordering planning helpers.
+"""
+
+from .manager import FALSE, TRUE, Bdd
+from .ordering import VariableAllocator, plan_order, union_find_interleave_groups
+from .reorder import order_quality, rebuild, sift
+
+__all__ = [
+    "Bdd",
+    "TRUE",
+    "FALSE",
+    "VariableAllocator",
+    "plan_order",
+    "union_find_interleave_groups",
+    "rebuild",
+    "sift",
+    "order_quality",
+]

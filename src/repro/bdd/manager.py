@@ -1,0 +1,587 @@
+"""A reduced ordered binary decision diagram (ROBDD) manager.
+
+This is the BDD backend of the paper: the high-performance decision
+diagram library used both for bounded model checking and for the state
+set transformer abstraction (pre/post image via existential
+quantification, variable renaming between transformer variable sets).
+
+Design notes
+------------
+* Nodes are integers; 0 is the FALSE terminal and 1 is TRUE.
+* Each internal node stores a *level* (its position in the variable
+  order), a low child (level-variable = False) and a high child.
+* A unique table enforces canonicity; a computed cache memoizes the
+  core recursive operations.
+* Variables are created against an explicit order; helper constructors
+  support the interleaved orders the paper's heuristics produce.
+
+The manager deliberately exposes levels == variable indices: variable
+``i`` sits at level ``i`` in the order.  Callers that need a specific
+interleaving (e.g. transformer input/output pairing) allocate their
+variables in the desired order, mirroring how Zen's ordering heuristic
+chooses an allocation before building any BDDs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..errors import ZenSolverError
+
+FALSE = 0
+TRUE = 1
+
+_TERMINAL_LEVEL = 1 << 30
+
+
+class Bdd:
+    """A BDD manager with a fixed (append-only) variable order.
+
+    >>> m = Bdd()
+    >>> x, y = m.new_var(), m.new_var()
+    >>> f = m.and_(x, y)
+    >>> m.evaluate(f, {0: True, 1: True})
+    True
+    """
+
+    def __init__(self) -> None:
+        # Node storage; indices 0/1 are terminals.
+        self._level: List[int] = [_TERMINAL_LEVEL, _TERMINAL_LEVEL]
+        self._low: List[int] = [0, 1]
+        self._high: List[int] = [0, 1]
+        self._unique: Dict[Tuple[int, int, int], int] = {}
+        self._cache: Dict[Tuple, int] = {}
+        self._ite_cache: Dict[Tuple[int, int, int], int] = {}
+        self._num_vars = 0
+
+    # ------------------------------------------------------------------
+    # Variables and raw nodes
+    # ------------------------------------------------------------------
+
+    @property
+    def num_vars(self) -> int:
+        """Number of variables in the order."""
+        return self._num_vars
+
+    @property
+    def num_nodes(self) -> int:
+        """Total allocated node count (including terminals)."""
+        return len(self._level)
+
+    def new_var(self) -> int:
+        """Append a fresh variable to the order; returns the var node.
+
+        The returned node is the BDD for the variable itself.  The
+        variable's index (== level) is ``num_vars - 1`` afterwards.
+        """
+        level = self._num_vars
+        self._num_vars += 1
+        return self._mk(level, FALSE, TRUE)
+
+    def new_vars(self, count: int) -> List[int]:
+        """Append `count` fresh variables; returns their var nodes."""
+        return [self.new_var() for _ in range(count)]
+
+    def var(self, index: int) -> int:
+        """The BDD node for an existing variable index."""
+        if not 0 <= index < self._num_vars:
+            raise ZenSolverError(f"unknown BDD variable {index}")
+        return self._mk(index, FALSE, TRUE)
+
+    def nvar(self, index: int) -> int:
+        """The BDD node for the negation of a variable."""
+        if not 0 <= index < self._num_vars:
+            raise ZenSolverError(f"unknown BDD variable {index}")
+        return self._mk(index, TRUE, FALSE)
+
+    def level_of(self, node: int) -> int:
+        """Level (variable index) labeling an internal node."""
+        return self._level[node]
+
+    def low(self, node: int) -> int:
+        """Low (False) child of an internal node."""
+        return self._low[node]
+
+    def high(self, node: int) -> int:
+        """High (True) child of an internal node."""
+        return self._high[node]
+
+    def is_terminal(self, node: int) -> bool:
+        """True for the FALSE/TRUE terminals."""
+        return node < 2
+
+    def _mk(self, level: int, low: int, high: int) -> int:
+        if low == high:
+            return low
+        key = (level, low, high)
+        node = self._unique.get(key)
+        if node is None:
+            node = len(self._level)
+            self._level.append(level)
+            self._low.append(low)
+            self._high.append(high)
+            self._unique[key] = node
+        return node
+
+    # ------------------------------------------------------------------
+    # Core operations
+    # ------------------------------------------------------------------
+
+    def ite(self, f: int, g: int, h: int) -> int:
+        """If-then-else: (f AND g) OR (NOT f AND h).
+
+        Iterative two-phase implementation with a dedicated cache; this
+        is the hottest function in the library, so it avoids Python
+        recursion and tuple churn.
+        """
+        levels = self._level
+        lows = self._low
+        highs = self._high
+        cache = self._ite_cache
+        unique = self._unique
+        # Work stack: ("E", f, g, h) expands a triple; ("R", key, lv)
+        # combines the two sub-results from the result stack.
+        expand = [(f, g, h)]
+        phase = [0]
+        keys: List = [None]
+        results: List[int] = []
+        while expand:
+            task = expand.pop()
+            ph = phase.pop()
+            key = keys.pop()
+            if ph == 1:
+                # Combine: the high result was pushed last.
+                high = results.pop()
+                low = results.pop()
+                lv = task  # type: ignore[assignment]
+                if low == high:
+                    node = low
+                else:
+                    ukey = (lv, low, high)
+                    node = unique.get(ukey)
+                    if node is None:
+                        node = len(levels)
+                        levels.append(lv)
+                        lows.append(low)
+                        highs.append(high)
+                        unique[ukey] = node
+                cache[key] = node
+                results.append(node)
+                continue
+            tf, tg, th = task
+            # Terminal cases.
+            if tf == TRUE:
+                results.append(tg)
+                continue
+            if tf == FALSE:
+                results.append(th)
+                continue
+            if tg == th:
+                results.append(tg)
+                continue
+            if tg == TRUE and th == FALSE:
+                results.append(tf)
+                continue
+            ckey = (tf, tg, th)
+            cached = cache.get(ckey)
+            if cached is not None:
+                results.append(cached)
+                continue
+            lf, lg, lh = levels[tf], levels[tg], levels[th]
+            lv = lf if lf < lg else lg
+            if lh < lv:
+                lv = lh
+            f0, f1 = (lows[tf], highs[tf]) if lf == lv else (tf, tf)
+            g0, g1 = (lows[tg], highs[tg]) if lg == lv else (tg, tg)
+            h0, h1 = (lows[th], highs[th]) if lh == lv else (th, th)
+            # Schedule: combine after both children; push high first so
+            # low is computed first and sits deeper in the result stack.
+            expand.append(lv)  # type: ignore[arg-type]
+            phase.append(1)
+            keys.append(ckey)
+            expand.append((f1, g1, h1))
+            phase.append(0)
+            keys.append(None)
+            expand.append((f0, g0, h0))
+            phase.append(0)
+            keys.append(None)
+        return results[-1]
+
+    def not_(self, f: int) -> int:
+        """Negation."""
+        return self.ite(f, FALSE, TRUE)
+
+    def and_(self, f: int, g: int) -> int:
+        """Conjunction."""
+        return self.ite(f, g, FALSE)
+
+    def or_(self, f: int, g: int) -> int:
+        """Disjunction."""
+        return self.ite(f, TRUE, g)
+
+    def xor(self, f: int, g: int) -> int:
+        """Exclusive or."""
+        return self.ite(f, self.not_(g), g)
+
+    def iff(self, f: int, g: int) -> int:
+        """Equivalence."""
+        return self.ite(f, g, self.not_(g))
+
+    def implies(self, f: int, g: int) -> int:
+        """Implication."""
+        return self.ite(f, g, TRUE)
+
+    def diff(self, f: int, g: int) -> int:
+        """Set difference f AND NOT g."""
+        return self.ite(g, FALSE, f)
+
+    def and_many(self, nodes: Iterable[int]) -> int:
+        """Conjunction of many nodes."""
+        result = TRUE
+        for node in nodes:
+            result = self.and_(result, node)
+            if result == FALSE:
+                return FALSE
+        return result
+
+    def or_many(self, nodes: Iterable[int]) -> int:
+        """Disjunction of many nodes."""
+        result = FALSE
+        for node in nodes:
+            result = self.or_(result, node)
+            if result == TRUE:
+                return TRUE
+        return result
+
+    # ------------------------------------------------------------------
+    # Quantification, substitution, restriction
+    # ------------------------------------------------------------------
+
+    def exists(self, f: int, variables: Iterable[int]) -> int:
+        """Existential quantification over variable indices."""
+        levels = frozenset(variables)
+        if not levels:
+            return f
+        return self._quantify(f, levels, self.or_)
+
+    def forall(self, f: int, variables: Iterable[int]) -> int:
+        """Universal quantification over variable indices."""
+        levels = frozenset(variables)
+        if not levels:
+            return f
+        return self._quantify(f, levels, self.and_)
+
+    def _quantify(
+        self, f: int, levels: frozenset, merge: Callable[[int, int], int]
+    ) -> int:
+        key = ("quant", f, levels, merge.__name__)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        if self.is_terminal(f):
+            return f
+        level = self._level[f]
+        if level > max(levels):
+            # All quantified variables are above this node.
+            return f
+        low = self._quantify(self._low[f], levels, merge)
+        high = self._quantify(self._high[f], levels, merge)
+        if level in levels:
+            result = merge(low, high)
+        else:
+            result = self._mk(level, low, high)
+        self._cache[key] = result
+        return result
+
+    def restrict(self, f: int, assignment: Dict[int, bool]) -> int:
+        """Cofactor: fix some variables to constants."""
+        if not assignment:
+            return f
+        items = frozenset(assignment.items())
+        return self._restrict(f, dict(assignment), items)
+
+    def _restrict(self, f: int, assignment: Dict[int, bool], key_items) -> int:
+        if self.is_terminal(f):
+            return f
+        key = ("restrict", f, key_items)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        level = self._level[f]
+        if level in assignment:
+            branch = self._high[f] if assignment[level] else self._low[f]
+            result = self._restrict(branch, assignment, key_items)
+        else:
+            result = self._mk(
+                level,
+                self._restrict(self._low[f], assignment, key_items),
+                self._restrict(self._high[f], assignment, key_items),
+            )
+        self._cache[key] = result
+        return result
+
+    def compose(self, f: int, var_index: int, g: int) -> int:
+        """Substitute BDD `g` for variable `var_index` in `f`."""
+        # f[x := g] = ite(g, f[x:=1], f[x:=0])
+        f1 = self.restrict(f, {var_index: True})
+        f0 = self.restrict(f, {var_index: False})
+        return self.ite(g, f1, f0)
+
+    def rename(self, f: int, mapping: Dict[int, int]) -> int:
+        """Rename variables per `mapping` (old index -> new index).
+
+        Requires the mapping to be strictly monotone on the support of
+        `f` (preserving relative order), so the renamed graph remains
+        ordered.  This matches how transformer image computation uses
+        renaming: quantify one variable set away, then shift the other.
+        Raises :class:`ZenSolverError` if order would be violated.
+        """
+        if not mapping:
+            return f
+        support = self.support(f)
+        images = [mapping.get(v, v) for v in support]
+        if any(b <= a for a, b in zip(images, images[1:])):
+            raise ZenSolverError(
+                "rename mapping does not preserve variable order; "
+                "use compose for non-monotone substitutions"
+            )
+        for new_index in mapping.values():
+            if not 0 <= new_index < self._num_vars:
+                raise ZenSolverError(f"unknown BDD variable {new_index}")
+        items = frozenset(mapping.items())
+        return self._rename(f, mapping, items)
+
+    def _rename(self, f: int, mapping: Dict[int, int], key_items) -> int:
+        if self.is_terminal(f):
+            return f
+        key = ("rename", f, key_items)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        level = self._level[f]
+        new_level = mapping.get(level, level)
+        result = self._mk(
+            new_level,
+            self._rename(self._low[f], mapping, key_items),
+            self._rename(self._high[f], mapping, key_items),
+        )
+        self._cache[key] = result
+        return result
+
+    def permute(self, f: int, mapping: Dict[int, int]) -> int:
+        """Rename variables by an arbitrary (possibly non-monotone) map.
+
+        Unlike :meth:`rename`, the result is rebuilt with ``ite`` so
+        any injective mapping is allowed; cost can be super-linear when
+        the mapping reorders levels.
+        """
+        if not mapping:
+            return f
+        targets = list(mapping.values())
+        if len(set(targets)) != len(targets):
+            raise ZenSolverError("permute mapping must be injective")
+        for new_index in targets:
+            if not 0 <= new_index < self._num_vars:
+                raise ZenSolverError(f"unknown BDD variable {new_index}")
+        items = frozenset(mapping.items())
+        return self._permute(f, mapping, items)
+
+    def _permute(self, f: int, mapping: Dict[int, int], key_items) -> int:
+        if self.is_terminal(f):
+            return f
+        key = ("permute", f, key_items)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        level = self._level[f]
+        new_level = mapping.get(level, level)
+        low = self._permute(self._low[f], mapping, key_items)
+        high = self._permute(self._high[f], mapping, key_items)
+        result = self.ite(self.var(new_level), high, low)
+        self._cache[key] = result
+        return result
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def evaluate(self, f: int, assignment: Dict[int, bool]) -> bool:
+        """Evaluate under a total (or sufficient) assignment.
+
+        Missing variables default to False.
+        """
+        node = f
+        while not self.is_terminal(node):
+            if assignment.get(self._level[node], False):
+                node = self._high[node]
+            else:
+                node = self._low[node]
+        return node == TRUE
+
+    def support(self, f: int) -> List[int]:
+        """Sorted variable indices that `f` depends on."""
+        seen: set[int] = set()
+        visited: set[int] = set()
+        stack = [f]
+        while stack:
+            node = stack.pop()
+            if node in visited or self.is_terminal(node):
+                continue
+            visited.add(node)
+            seen.add(self._level[node])
+            stack.append(self._low[node])
+            stack.append(self._high[node])
+        return sorted(seen)
+
+    def node_count(self, f: int) -> int:
+        """Number of distinct internal nodes reachable from `f`."""
+        visited: set[int] = set()
+        stack = [f]
+        count = 0
+        while stack:
+            node = stack.pop()
+            if node in visited or self.is_terminal(node):
+                continue
+            visited.add(node)
+            count += 1
+            stack.append(self._low[node])
+            stack.append(self._high[node])
+        return count
+
+    def sat_count(self, f: int, num_vars: Optional[int] = None) -> int:
+        """Number of satisfying assignments over `num_vars` variables.
+
+        Defaults to the manager's full variable count.
+        """
+        if num_vars is None:
+            num_vars = self._num_vars
+        memo: Dict[int, int] = {}
+
+        def count(node: int) -> int:
+            # Returns count over variables strictly below node's level.
+            if node == FALSE:
+                return 0
+            if node == TRUE:
+                return 1
+            cached = memo.get(node)
+            if cached is not None:
+                return cached
+            level = self._level[node]
+            low, high = self._low[node], self._high[node]
+            low_gap = (self._levels_below(low)) - level - 1
+            high_gap = (self._levels_below(high)) - level - 1
+            result = (count(low) << low_gap) + (count(high) << high_gap)
+            memo[node] = result
+            return result
+
+        top_gap = self._levels_below(f)
+        return count(f) << top_gap if f != FALSE else 0
+
+    def _levels_below(self, node: int) -> int:
+        if self.is_terminal(node):
+            return self._num_vars
+        return self._level[node]
+
+    def any_sat(self, f: int) -> Optional[Dict[int, bool]]:
+        """One satisfying assignment (partial: only decided levels)."""
+        if f == FALSE:
+            return None
+        assignment: Dict[int, bool] = {}
+        node = f
+        while not self.is_terminal(node):
+            if self._low[node] != FALSE:
+                assignment[self._level[node]] = False
+                node = self._low[node]
+            else:
+                assignment[self._level[node]] = True
+                node = self._high[node]
+        return assignment
+
+    def iter_sat(self, f: int) -> Iterator[Dict[int, bool]]:
+        """Iterate over satisfying paths as partial assignments.
+
+        Unmentioned variables are don't-cares on that path.
+        """
+        if f == FALSE:
+            return
+        stack: List[Tuple[int, Dict[int, bool]]] = [(f, {})]
+        while stack:
+            node, path = stack.pop()
+            if node == TRUE:
+                yield path
+                continue
+            if node == FALSE:
+                continue
+            level = self._level[node]
+            high_path = dict(path)
+            high_path[level] = True
+            stack.append((self._high[node], high_path))
+            low_path = dict(path)
+            low_path[level] = False
+            stack.append((self._low[node], low_path))
+
+    def pick_assignment(
+        self, f: int, variables: Sequence[int]
+    ) -> Optional[Dict[int, bool]]:
+        """A total assignment over `variables` satisfying `f`."""
+        partial = self.any_sat(f)
+        if partial is None:
+            return None
+        return {v: partial.get(v, False) for v in variables}
+
+    # ------------------------------------------------------------------
+    # Bulk helpers
+    # ------------------------------------------------------------------
+
+    def cube(self, literals: Dict[int, bool]) -> int:
+        """Conjunction of variable literals (index -> polarity)."""
+        result = TRUE
+        for index in sorted(literals, reverse=True):
+            node = self.var(index) if literals[index] else self.nvar(index)
+            result = self.and_(node, result)
+        return result
+
+    def from_function(
+        self, fn: Callable[[Dict[int, bool]], bool], variables: Sequence[int]
+    ) -> int:
+        """Build a BDD from a Python truth function (for tests)."""
+        def build(i: int, assignment: Dict[int, bool]) -> int:
+            if i == len(variables):
+                return TRUE if fn(assignment) else FALSE
+            assignment[variables[i]] = False
+            low = build(i + 1, assignment)
+            assignment[variables[i]] = True
+            high = build(i + 1, assignment)
+            del assignment[variables[i]]
+            return self.ite(self.var(variables[i]), high, low)
+
+        return build(0, {})
+
+    def clear_cache(self) -> None:
+        """Drop the computed caches (unique table is kept)."""
+        self._cache.clear()
+        self._ite_cache.clear()
+
+    def to_dot(self, f: int, name: str = "bdd") -> str:
+        """GraphViz DOT rendering of the graph rooted at `f`."""
+        lines = [f"digraph {name} {{"]
+        lines.append('  node0 [label="0", shape=box];')
+        lines.append('  node1 [label="1", shape=box];')
+        visited: set[int] = set()
+        stack = [f]
+        while stack:
+            node = stack.pop()
+            if node in visited or self.is_terminal(node):
+                continue
+            visited.add(node)
+            lines.append(
+                f'  node{node} [label="x{self._level[node]}", shape=circle];'
+            )
+            lines.append(
+                f"  node{node} -> node{self._low[node]} [style=dashed];"
+            )
+            lines.append(f"  node{node} -> node{self._high[node]};")
+            stack.append(self._low[node])
+            stack.append(self._high[node])
+        lines.append("}")
+        return "\n".join(lines)

@@ -1,0 +1,40 @@
+"""Core analysis API: ZenFunction, state sets, test generation,
+compilation."""
+
+from .compilation import compile_function
+from .function import DEFAULT_MAX_LIST_LENGTH, ZenFunction, zen_function
+from .modelcheck import (
+    ReachabilityReport,
+    backward_reachable,
+    can_reach,
+    check_invariant,
+    reachable_states,
+)
+from .testgen import generate_inputs
+from .transformers import (
+    StateSet,
+    StateSetTransformer,
+    TransformerContext,
+    bit_width,
+    default_context,
+    reset_default_context,
+)
+
+__all__ = [
+    "ZenFunction",
+    "zen_function",
+    "DEFAULT_MAX_LIST_LENGTH",
+    "StateSet",
+    "StateSetTransformer",
+    "TransformerContext",
+    "default_context",
+    "reset_default_context",
+    "bit_width",
+    "generate_inputs",
+    "compile_function",
+    "reachable_states",
+    "check_invariant",
+    "can_reach",
+    "backward_reachable",
+    "ReachabilityReport",
+]

@@ -1,0 +1,238 @@
+"""Model extraction: compile a ZenFunction to plain Python (§8).
+
+The C# implementation emits IL with ``System.Reflection.Emit``; the
+Python analogue generates Python source for the expression tree,
+compiles it with the built-in compiler, and returns the resulting
+closure.  The generated code is straight-line SSA over the expression
+DAG, with conditionals as lazy ``a if c else b`` expressions.
+
+List ``case`` nodes carry host-language closures that can only be
+expanded against a value, so models whose *body* contains a ListCase
+fall back to a specializing interpreter closure (documented; the
+networking models in this repository — ACLs, forwarding, tunnels —
+compile fully).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Dict, List
+
+from ..errors import ZenUnsupportedError
+from ..lang import expr as ex
+from ..lang import types as ty
+
+_BIN_TEMPLATES = {
+    "and": "({l} and {r})",
+    "or": "({l} or {r})",
+    "eq": "({l} == {r})",
+    "ne": "({l} != {r})",
+    "lt": "({l} < {r})",
+    "le": "({l} <= {r})",
+    "gt": "({l} > {r})",
+    "ge": "({l} >= {r})",
+}
+
+
+class _Codegen:
+    """Generates SSA-style Python source for an expression DAG."""
+
+    def __init__(self) -> None:
+        self.lines: List[str] = []
+        self.names: Dict[ex.Expr, str] = {}
+        self.constants: Dict[str, Any] = {}
+        self._counter = 0
+
+    def fresh(self) -> str:
+        self._counter += 1
+        return f"_t{self._counter}"
+
+    def emit(self, text: str) -> str:
+        name = self.fresh()
+        self.lines.append(f"    {name} = {text}")
+        return name
+
+    def const(self, value: Any) -> str:
+        name = f"_c{len(self.constants)}"
+        self.constants[name] = value
+        return name
+
+    # ------------------------------------------------------------------
+
+    def visit(self, root: ex.Expr) -> str:
+        """Iteratively generate code for a DAG (no Python recursion)."""
+        stack = [root]
+        while stack:
+            node = stack[-1]
+            if node in self.names:
+                stack.pop()
+                continue
+            pending = [c for c in node.children if c not in self.names]
+            if pending:
+                stack.extend(pending)
+                continue
+            self.names[node] = self._generate(node)
+            stack.pop()
+        return self.names[root]
+
+    def _wrap(self, int_type: ty.IntType, text: str) -> str:
+        mask = (1 << int_type.width) - 1
+        if int_type.signed:
+            half = 1 << (int_type.width - 1)
+            return (
+                f"((({text}) & {mask}) - {1 << int_type.width} "
+                f"if (({text}) & {mask}) >= {half} else (({text}) & {mask}))"
+            )
+        return f"(({text}) & {mask})"
+
+    def _unsigned(self, int_type: ty.IntType, text: str) -> str:
+        return f"(({text}) & {(1 << int_type.width) - 1})"
+
+    def _generate(self, node: ex.Expr) -> str:
+        if isinstance(node, ex.Constant):
+            return self.const(node.value)
+        if isinstance(node, ex.Var):
+            return node.name
+        if isinstance(node, ex.Binary):
+            return self._generate_binary(node)
+        if isinstance(node, ex.Unary):
+            operand = self.names[node.operand]
+            if node.op == "not":
+                return self.emit(f"not {operand}")
+            int_type = node.type
+            assert isinstance(int_type, ty.IntType)
+            if node.op == "bnot":
+                return self.emit(
+                    self._wrap(int_type, f"~{self._unsigned(int_type, operand)}")
+                )
+            return self.emit(self._wrap(int_type, f"-{operand}"))
+        if isinstance(node, ex.If):
+            cond = self.names[node.cond]
+            then = self.names[node.then]
+            orelse = self.names[node.orelse]
+            return self.emit(f"{then} if {cond} else {orelse}")
+        if isinstance(node, ex.Create):
+            cls_name = self.const(node.type.cls)  # type: ignore[attr-defined]
+            args = ", ".join(
+                f"{fname}={self.names[child]}"
+                for fname, child in node.fields.items()
+            )
+            return self.emit(f"{cls_name}({args})")
+        if isinstance(node, ex.GetField):
+            obj = self.names[node.obj]
+            return self.emit(f"{obj}.{node.field}")
+        if isinstance(node, ex.WithField):
+            obj = self.names[node.obj]
+            value = self.names[node.value]
+            replace = self.const(dataclasses.replace)
+            return self.emit(f"{replace}({obj}, {node.field}={value})")
+        if isinstance(node, ex.MakeTuple):
+            items = ", ".join(self.names[item] for item in node.items)
+            return self.emit(f"({items},)")
+        if isinstance(node, ex.TupleGet):
+            tup = self.names[node.tup]
+            return self.emit(f"{tup}[{node.index}]")
+        if isinstance(node, ex.ListEmpty):
+            return self.emit("[]")
+        if isinstance(node, ex.ListCons):
+            head = self.names[node.head]
+            tail = self.names[node.tail]
+            return self.emit(f"[{head}] + {tail}")
+        if isinstance(node, ex.OptionNone):
+            return self.emit("None")
+        if isinstance(node, ex.OptionSome):
+            return self.names[node.value]
+        if isinstance(node, ex.OptionHasValue):
+            opt = self.names[node.opt]
+            return self.emit(f"{opt} is not None")
+        if isinstance(node, ex.OptionValue):
+            opt = self.names[node.opt]
+            default = self.const(ty.default_value(node.type))
+            return self.emit(f"{default} if {opt} is None else {opt}")
+        if isinstance(node, ex.ListCase):
+            raise ZenUnsupportedError(
+                "compile() does not support list case expressions; "
+                "the interpreter handles them (call .evaluate instead)"
+            )
+        if isinstance(node, ex.Lifted):
+            raise ZenUnsupportedError("cannot compile evaluator-internal values")
+        if isinstance(node, ex.Adapt):
+            operand = self.names[node.operand]
+            helper = self.const(_adapt_runtime)
+            source = self.const(node.operand.type)
+            target = self.const(node.type)
+            return self.emit(f"{helper}({operand}, {source}, {target})")
+        raise ZenUnsupportedError(f"cannot compile node {node!r}")
+
+    def _generate_binary(self, node: ex.Binary) -> str:
+        left = self.names[node.left]
+        right = self.names[node.right]
+        template = _BIN_TEMPLATES.get(node.op)
+        if template is not None:
+            return self.emit(template.format(l=left, r=right))
+        int_type = node.type
+        assert isinstance(int_type, ty.IntType)
+        if node.op in ("add", "sub", "mul"):
+            symbol = {"add": "+", "sub": "-", "mul": "*"}[node.op]
+            return self.emit(self._wrap(int_type, f"{left} {symbol} {right}"))
+        if node.op in ("band", "bor", "bxor"):
+            symbol = {"band": "&", "bor": "|", "bxor": "^"}[node.op]
+            lu = self._unsigned(int_type, left)
+            ru = self._unsigned(int_type, right)
+            return self.emit(self._wrap(int_type, f"{lu} {symbol} {ru}"))
+        if node.op == "shl":
+            amount = self._unsigned(int_type, right)
+            shifted = (
+                f"0 if {amount} >= {int_type.width} "
+                f"else {self._unsigned(int_type, left)} << {amount}"
+            )
+            return self.emit(self._wrap(int_type, f"({shifted})"))
+        if node.op == "shr":
+            amount = self._unsigned(int_type, right)
+            if int_type.signed:
+                fill = f"(-1 if {left} < 0 else 0)"
+                body = (
+                    f"{fill} if {amount} >= {int_type.width} "
+                    f"else {left} >> {amount}"
+                )
+            else:
+                body = (
+                    f"0 if {amount} >= {int_type.width} "
+                    f"else {self._unsigned(int_type, left)} >> {amount}"
+                )
+            return self.emit(self._wrap(int_type, f"({body})"))
+        raise ZenUnsupportedError(f"cannot compile operator {node.op}")
+
+
+def _adapt_runtime(value, source, target):
+    """Runtime shim for adapt expressions in compiled code."""
+    if isinstance(source, ty.MapType):
+        pairs = [(k, v) for k, v in value.items()]
+        pairs.reverse()
+        return pairs
+    result = {}
+    for key, val in reversed(value):
+        result[key] = val
+    return result
+
+
+def compile_function(function) -> Callable[..., Any]:
+    """Compile a ZenFunction's body to a plain Python function.
+
+    The returned callable takes the same number of (concrete)
+    arguments and computes the same results as ``function.evaluate``.
+    """
+    gen = _Codegen()
+    result = gen.visit(function.body.expr)
+    arg_names = ", ".join(f"arg{i}" for i in range(len(function.arg_types)))
+    source = "\n".join(
+        [f"def _compiled({arg_names}):"] + gen.lines + [f"    return {result}"]
+    )
+    namespace: Dict[str, Any] = dict(gen.constants)
+    code = compile(source, f"<zen:{function.name}>", "exec")
+    exec(code, namespace)
+    compiled = namespace["_compiled"]
+    compiled.__name__ = f"compiled_{function.name}"
+    compiled.__doc__ = f"Compiled Zen model {function.name!r}."
+    compiled._zen_source = source
+    return compiled

@@ -1,0 +1,241 @@
+"""`ZenFunction`: the executable-and-analyzable function wrapper (§4).
+
+A `ZenFunction` wraps a Python function over Zen values.  The same
+model then supports every analysis in the paper:
+
+* :meth:`evaluate` — concrete simulation,
+* :meth:`find` — counterexample / example input search (bounded model
+  checking) with either the SAT or the BDD backend,
+* :meth:`transformer` — the state set transformer abstraction
+  (:mod:`repro.core.transformers`),
+* :meth:`generate_inputs` — symbolic-execution test generation
+  (:mod:`repro.core.testgen`),
+* :meth:`compile` — extraction of a plain Python implementation
+  (:mod:`repro.core.compile`).
+"""
+
+from __future__ import annotations
+
+import inspect
+import typing
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from ..backends import (
+    BddBackend,
+    ConcreteEvaluator,
+    SatBackend,
+    SymbolicEvaluator,
+    decode,
+)
+from ..backends import values as sv
+from ..errors import ZenArityError, ZenTypeError
+from ..lang import Zen, types as ty
+from ..lang import expr as ex
+
+DEFAULT_MAX_LIST_LENGTH = 4
+
+
+def _make_backend(name: str):
+    if name == "sat":
+        return SatBackend()
+    if name == "bdd":
+        return BddBackend()
+    raise ZenTypeError(f"unknown backend {name!r}; use 'sat' or 'bdd'")
+
+
+class ZenFunction:
+    """A model function over Zen values, ready for analysis.
+
+    Construct with explicit argument types::
+
+        f = ZenFunction(lambda p: forward(table, p), [Packet])
+
+    or from annotations with :func:`zen_function`.
+    """
+
+    def __init__(
+        self,
+        fn: Callable[..., Any],
+        arg_annotations: Sequence[Any],
+        name: Optional[str] = None,
+    ):
+        self._fn = fn
+        self._arg_types: List[ty.ZenType] = [
+            ty.from_annotation(a) for a in arg_annotations
+        ]
+        if not 1 <= len(self._arg_types) <= 4:
+            raise ZenArityError(
+                "Zen functions take between one and four arguments"
+            )
+        self.name = name or getattr(fn, "__name__", "<zen function>")
+        self._arg_vars = [
+            Zen(ex.Var(f"arg{i}", t)) for i, t in enumerate(self._arg_types)
+        ]
+        result = fn(*self._arg_vars)
+        if not isinstance(result, Zen):
+            raise ZenTypeError(
+                f"{self.name} must return a Zen value, got {result!r}"
+            )
+        self._body = result
+
+    # ------------------------------------------------------------------
+
+    @property
+    def arg_types(self) -> List[ty.ZenType]:
+        """Zen types of the function's arguments."""
+        return list(self._arg_types)
+
+    @property
+    def return_type(self) -> ty.ZenType:
+        """Zen type of the function's result."""
+        return self._body.type
+
+    @property
+    def body(self) -> Zen:
+        """The function body as a Zen expression over ``argN`` vars."""
+        return self._body
+
+    # ------------------------------------------------------------------
+    # Simulation
+    # ------------------------------------------------------------------
+
+    def evaluate(self, *args: Any) -> Any:
+        """Run the model on concrete inputs (simulation)."""
+        self._check_arity(args)
+        env = {f"arg{i}": value for i, value in enumerate(args)}
+        return ConcreteEvaluator(env).evaluate(self._body.expr)
+
+    def __call__(self, *args: Any) -> Any:
+        return self.evaluate(*args)
+
+    # ------------------------------------------------------------------
+    # Bounded model checking
+    # ------------------------------------------------------------------
+
+    def find(
+        self,
+        predicate: Optional[Callable[..., Zen]] = None,
+        backend: str = "sat",
+        max_list_length: int = DEFAULT_MAX_LIST_LENGTH,
+    ) -> Optional[Tuple[Any, ...]]:
+        """Search for inputs whose run satisfies `predicate`.
+
+        `predicate` receives the argument Zen values followed by the
+        result Zen value and returns ``Zen<bool>``.  Without a
+        predicate the result itself must be a boolean and is required
+        to hold.  Returns a tuple of concrete inputs, a single value
+        for unary functions, or None when no input exists (up to the
+        list-length bound).
+        """
+        engine = _make_backend(backend)
+        evaluator = SymbolicEvaluator(
+            engine, max_list_length=max_list_length
+        )
+        sym_args = [
+            evaluator.fresh_input(f"arg{i}", t)
+            for i, t in enumerate(self._arg_types)
+        ]
+        result_value = evaluator.evaluate(self._body.expr)
+        if predicate is None:
+            if not isinstance(self.return_type, ty.BoolType):
+                raise ZenTypeError(
+                    "find without a predicate needs a boolean-valued "
+                    "function"
+                )
+            constraint_value = result_value
+        else:
+            lifted_args = [
+                Zen(ex.Lifted(sym, t, evaluator))
+                for sym, t in zip(sym_args, self._arg_types)
+            ]
+            lifted_result = Zen(
+                ex.Lifted(result_value, self.return_type, evaluator)
+            )
+            prop = predicate(*lifted_args, lifted_result)
+            if not isinstance(prop, Zen) or not isinstance(
+                prop.type, ty.BoolType
+            ):
+                raise ZenTypeError("find predicate must return Zen<bool>")
+            constraint_value = evaluator.evaluate(prop.expr)
+        assert isinstance(constraint_value, sv.SymBool)
+        model = engine.solve(constraint_value.bit)
+        if model is None:
+            return None
+        decoded = tuple(decode(model, arg) for arg in sym_args)
+        return decoded[0] if len(decoded) == 1 else decoded
+
+    def verify(
+        self,
+        invariant: Callable[..., Zen],
+        backend: str = "sat",
+        max_list_length: int = DEFAULT_MAX_LIST_LENGTH,
+    ) -> Optional[Tuple[Any, ...]]:
+        """Check that `invariant` holds on all inputs.
+
+        Returns None when verified, else a counterexample input (the
+        negation handed to :meth:`find`).
+        """
+        def negated(*zs: Zen) -> Zen:
+            return ~invariant(*zs)
+
+        return self.find(
+            negated, backend=backend, max_list_length=max_list_length
+        )
+
+    # ------------------------------------------------------------------
+    # Other analyses (implemented in sibling modules)
+    # ------------------------------------------------------------------
+
+    def transformer(self, context=None):
+        """Build a :class:`StateSetTransformer` for this function."""
+        from .transformers import StateSetTransformer
+
+        return StateSetTransformer.build(self, context=context)
+
+    def generate_inputs(
+        self,
+        max_inputs: int = 64,
+        max_list_length: int = DEFAULT_MAX_LIST_LENGTH,
+    ) -> List[Tuple[Any, ...]]:
+        """Generate high-coverage test inputs (symbolic execution)."""
+        from .testgen import generate_inputs
+
+        return generate_inputs(
+            self, max_inputs=max_inputs, max_list_length=max_list_length
+        )
+
+    def compile(self) -> Callable[..., Any]:
+        """Extract a plain Python implementation of the model."""
+        from .compilation import compile_function
+
+        return compile_function(self)
+
+    # ------------------------------------------------------------------
+
+    def _check_arity(self, args: Sequence[Any]) -> None:
+        if len(args) != len(self._arg_types):
+            raise ZenArityError(
+                f"{self.name} takes {len(self._arg_types)} argument(s), "
+                f"got {len(args)}"
+            )
+
+
+def zen_function(fn: Callable[..., Any]) -> ZenFunction:
+    """Build a ZenFunction from a fully annotated Python function::
+
+        @zen_function
+        def allowed(pkt: Packet) -> Bool:
+            return acl_allows(MY_ACL, pkt)
+    """
+    hints = typing.get_type_hints(fn)
+    signature = inspect.signature(fn)
+    annotations = []
+    for param in signature.parameters.values():
+        annotation = param.annotation
+        if annotation is inspect.Parameter.empty:
+            raise ZenTypeError(
+                f"parameter {param.name!r} of {fn.__name__} needs a Zen "
+                "type annotation"
+            )
+        annotations.append(hints.get(param.name, annotation))
+    return ZenFunction(fn, annotations, name=fn.__name__)

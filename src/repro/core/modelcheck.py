@@ -1,0 +1,120 @@
+"""Unbounded model checking over state set transformers (§1, §6).
+
+The paper lists an *unbounded* model checker among Zen's backends: for
+a transition function ``step : S -> S`` it computes the set of states
+reachable from an initial set as a least fixed point of forward images
+(standard symbolic reachability via pre/post image computation), then
+answers invariant and reachability queries without a depth bound.
+
+Because BDDs are canonical, fixpoint detection is pointer equality of
+set nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional
+
+from ..errors import ZenTypeError
+from .function import ZenFunction
+from .transformers import StateSet, StateSetTransformer, TransformerContext, default_context
+
+
+@dataclass(frozen=True)
+class ReachabilityReport:
+    """The result of a reachability fixpoint computation."""
+
+    reachable: StateSet
+    iterations: int
+    converged: bool
+
+
+def reachable_states(
+    step: ZenFunction,
+    initial: StateSet,
+    context: Optional[TransformerContext] = None,
+    max_iterations: int = 1000,
+) -> ReachabilityReport:
+    """All states reachable from `initial` under repeated `step`.
+
+    `step` must be a unary function whose input and output types
+    match.  Iterates ``R := R ∪ post(R)`` until the set stops growing
+    (guaranteed to terminate: the state space is finite).
+    """
+    if context is None:
+        context = default_context()
+    transformer = step.transformer(context)
+    if transformer.input_type != transformer.output_type:
+        raise ZenTypeError(
+            "unbounded model checking needs step : S -> S, got "
+            f"{transformer.input_type} -> {transformer.output_type}"
+        )
+    reached = initial
+    for iteration in range(1, max_iterations + 1):
+        frontier = transformer.transform_forward(reached)
+        grown = reached.union(frontier)
+        if grown.equals(reached):
+            return ReachabilityReport(reached, iteration, True)
+        reached = grown
+    return ReachabilityReport(reached, max_iterations, False)
+
+
+def check_invariant(
+    step: ZenFunction,
+    initial: StateSet,
+    invariant: ZenFunction,
+    context: Optional[TransformerContext] = None,
+    max_iterations: int = 1000,
+) -> Optional[Any]:
+    """Check that `invariant` holds on every reachable state.
+
+    Returns None when the invariant is inductive-reachable-safe, or a
+    concrete reachable state violating it.
+    """
+    if context is None:
+        context = default_context()
+    report = reachable_states(
+        step, initial, context=context, max_iterations=max_iterations
+    )
+    good = context.from_predicate(invariant)
+    bad = report.reachable.difference(good)
+    return bad.element()
+
+
+def can_reach(
+    step: ZenFunction,
+    initial: StateSet,
+    target: StateSet,
+    context: Optional[TransformerContext] = None,
+    max_iterations: int = 1000,
+) -> Optional[Any]:
+    """A reachable state inside `target`, or None if unreachable."""
+    report = reachable_states(
+        step, initial, context=context, max_iterations=max_iterations
+    )
+    hit = report.reachable.intersect(target)
+    return hit.element()
+
+
+def backward_reachable(
+    step: ZenFunction,
+    bad: StateSet,
+    context: Optional[TransformerContext] = None,
+    max_iterations: int = 1000,
+) -> ReachabilityReport:
+    """All states that can eventually reach `bad` (pre-image fixpoint)."""
+    if context is None:
+        context = default_context()
+    transformer = step.transformer(context)
+    if transformer.input_type != transformer.output_type:
+        raise ZenTypeError(
+            "unbounded model checking needs step : S -> S"
+        )
+    reached = bad
+    for iteration in range(1, max_iterations + 1):
+        frontier = transformer.transform_reverse(reached)
+        grown = reached.union(frontier)
+        if grown.equals(reached):
+            return ReachabilityReport(reached, iteration, True)
+        reached = grown
+    return ReachabilityReport(reached, max_iterations, False)

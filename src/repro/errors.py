@@ -1,0 +1,35 @@
+"""Exception hierarchy for the repro (PyZen) library.
+
+Every error raised by the public API derives from :class:`ZenError` so
+that callers can catch library failures with a single except clause.
+"""
+
+from __future__ import annotations
+
+
+class ZenError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ZenTypeError(ZenError, TypeError):
+    """An expression was built or used with incompatible Zen types."""
+
+
+class ZenArityError(ZenError, TypeError):
+    """A Zen function was declared or applied with the wrong arity."""
+
+
+class ZenUnsupportedError(ZenError, NotImplementedError):
+    """The requested operation is not supported by the chosen backend."""
+
+
+class ZenEvaluationError(ZenError, RuntimeError):
+    """Concrete or symbolic evaluation failed (e.g. malformed model)."""
+
+
+class ZenSolverError(ZenError, RuntimeError):
+    """A solver substrate (SAT or BDD) was used incorrectly."""
+
+
+class ZenDepthError(ZenError, ValueError):
+    """A bounded structure (list) exceeded its configured maximum size."""

@@ -1,0 +1,405 @@
+"""The Python embedding of Zen: the ``Zen`` wrapper and constructors.
+
+``Zen`` wraps an expression tree and overloads Python operators so that
+modeling code reads like ordinary Python (paper §3)::
+
+    def matches(rule, header):        # rule: concrete, header: Zen
+        mask = UINT32_MASK << (32 - rule.prefix_len)
+        return (header.dst_ip & mask) == rule.prefix
+
+Python constants are lifted automatically when combined with Zen
+values.  A standalone constant needs an explicit type via
+:func:`constant` because Python ints are not fixed-width.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, Optional, Sequence, Union
+
+from ..errors import ZenTypeError
+from . import expr as ex
+from . import types as ty
+
+_fresh_names = itertools.count()
+
+
+class Zen:
+    """A symbolic-or-concrete value of some Zen type (``Zen<T>`` in C#).
+
+    Wraps an expression; all operators build larger expressions.  Note
+    that ``==`` builds an equality *expression* — use ``is`` to compare
+    wrapper identity, and never use ``Zen`` values in ``if`` conditions
+    (use :func:`if_` instead; a plain ``if`` raises).
+    """
+
+    __slots__ = ("expr",)
+
+    def __init__(self, expr: ex.Expr):
+        object.__setattr__(self, "expr", expr)
+
+    # -- introspection -------------------------------------------------
+
+    @property
+    def type(self) -> ty.ZenType:
+        """The Zen type of this value."""
+        return self.expr.type
+
+    def __repr__(self) -> str:
+        return f"Zen<{self.type}>({self.expr})"
+
+    def __bool__(self) -> bool:
+        raise ZenTypeError(
+            "Zen values cannot be used in Python `if`/`and`/`or`; use "
+            "if_(cond, a, b), & and | instead"
+        )
+
+    def __hash__(self) -> int:
+        return id(self)
+
+    # -- lifting helpers ----------------------------------------------
+
+    def _lift_like(self, other: Any) -> "Zen":
+        """Lift `other` to this value's type if it is a raw constant."""
+        if isinstance(other, Zen):
+            return other
+        return constant(other, self.type)
+
+    # -- arithmetic ----------------------------------------------------
+
+    def _binary(self, op: str, other: Any, reverse: bool = False) -> "Zen":
+        rhs = self._lift_like(other)
+        left, right = (rhs, self) if reverse else (self, rhs)
+        return Zen(ex.Binary(op, left.expr, right.expr))
+
+    def __add__(self, other):
+        return self._binary("add", other)
+
+    def __radd__(self, other):
+        return self._binary("add", other, reverse=True)
+
+    def __sub__(self, other):
+        return self._binary("sub", other)
+
+    def __rsub__(self, other):
+        return self._binary("sub", other, reverse=True)
+
+    def __mul__(self, other):
+        return self._binary("mul", other)
+
+    def __rmul__(self, other):
+        return self._binary("mul", other, reverse=True)
+
+    def __neg__(self):
+        return Zen(ex.Unary("neg", self.expr))
+
+    # -- bitwise / logical ----------------------------------------------
+
+    def _is_bool(self) -> bool:
+        return isinstance(self.type, ty.BoolType)
+
+    def __and__(self, other):
+        return self._binary("and" if self._is_bool() else "band", other)
+
+    def __rand__(self, other):
+        return self._binary(
+            "and" if self._is_bool() else "band", other, reverse=True
+        )
+
+    def __or__(self, other):
+        return self._binary("or" if self._is_bool() else "bor", other)
+
+    def __ror__(self, other):
+        return self._binary(
+            "or" if self._is_bool() else "bor", other, reverse=True
+        )
+
+    def __xor__(self, other):
+        if self._is_bool():
+            rhs = self._lift_like(other)
+            return self != rhs
+        return self._binary("bxor", other)
+
+    def __rxor__(self, other):
+        return self.__xor__(other)
+
+    def __invert__(self):
+        op = "not" if self._is_bool() else "bnot"
+        return Zen(ex.Unary(op, self.expr))
+
+    def __lshift__(self, other):
+        return self._binary("shl", other)
+
+    def __rshift__(self, other):
+        return self._binary("shr", other)
+
+    def implies(self, other: Any) -> "Zen":
+        """Logical implication (bool only)."""
+        rhs = self._lift_like(other)
+        return ~self | rhs
+
+    # -- comparisons -----------------------------------------------------
+
+    def __eq__(self, other):  # type: ignore[override]
+        return self._binary("eq", other)
+
+    def __ne__(self, other):  # type: ignore[override]
+        return self._binary("ne", other)
+
+    def __lt__(self, other):
+        return self._binary("lt", other)
+
+    def __le__(self, other):
+        return self._binary("le", other)
+
+    def __gt__(self, other):
+        return self._binary("gt", other)
+
+    def __ge__(self, other):
+        return self._binary("ge", other)
+
+    # -- objects ---------------------------------------------------------
+
+    def __getattr__(self, name: str) -> "Zen":
+        zen_type = self.type
+        if isinstance(zen_type, ty.ObjectType) and name in zen_type.fields:
+            return Zen(ex.GetField(self.expr, name))
+        raise AttributeError(
+            f"Zen<{zen_type}> has no attribute or field {name!r}"
+        )
+
+    def field(self, name: str) -> "Zen":
+        """Explicit field projection (same as attribute access)."""
+        return Zen(ex.GetField(self.expr, name))
+
+    def with_field(self, name: str, value: Any) -> "Zen":
+        """Functional update of one field."""
+        zen_type = self.type
+        if not isinstance(zen_type, ty.ObjectType):
+            raise ZenTypeError(f"with_field on non-object {zen_type}")
+        lifted = _lift_to(value, zen_type.field_type(name))
+        return Zen(ex.WithField(self.expr, name, lifted.expr))
+
+    def with_fields(self, **updates: Any) -> "Zen":
+        """Functional update of several fields."""
+        result = self
+        for name, value in updates.items():
+            result = result.with_field(name, value)
+        return result
+
+    # -- tuples -----------------------------------------------------------
+
+    def __getitem__(self, index: int) -> "Zen":
+        return Zen(ex.TupleGet(self.expr, index))
+
+    # -- options -----------------------------------------------------------
+
+    def has_value(self) -> "Zen":
+        """Whether an Option holds a value."""
+        return Zen(ex.OptionHasValue(self.expr))
+
+    def value(self) -> "Zen":
+        """The payload of an Option (default value when None)."""
+        return Zen(ex.OptionValue(self.expr))
+
+    def value_or(self, default: Any) -> "Zen":
+        """The payload, or `default` when the option is None."""
+        if not isinstance(self.type, ty.OptionType):
+            raise ZenTypeError(f"value_or on non-option {self.type}")
+        lifted = _lift_to(default, self.type.element)
+        return if_(self.has_value(), self.value(), lifted)
+
+    # -- lists --------------------------------------------------------------
+
+    def case(
+        self,
+        empty: Union["Zen", Callable[[], Any]],
+        cons: Callable[["Zen", "Zen"], Any],
+    ) -> "Zen":
+        """List elimination: ``case lst of [] -> empty | hd::tl -> cons``.
+
+        ``empty`` may be a Zen value or a thunk; ``cons`` receives the
+        head and tail as Zen values.  The host-language recursion rule
+        of the paper applies: a recursive model function calls itself
+        inside ``cons`` and terminates because the (bounded) tail
+        shrinks at each evaluation step.
+        """
+        lst_type = self.type
+        if not isinstance(lst_type, ty.ListType):
+            raise ZenTypeError(f"case on non-list {lst_type}")
+
+        def empty_fn() -> ex.Expr:
+            result = empty() if callable(empty) else empty
+            if not isinstance(result, Zen):
+                raise ZenTypeError("empty branch must produce a Zen value")
+            return result.expr
+
+        def cons_fn(head: ex.Expr, tail: ex.Expr) -> ex.Expr:
+            result = cons(Zen(head), Zen(tail))
+            if not isinstance(result, Zen):
+                raise ZenTypeError("cons branch must produce a Zen value")
+            return result.expr
+
+        return Zen(ex.ListCase(self.expr, empty_fn, cons_fn))
+
+    # -- adapt ---------------------------------------------------------------
+
+    def adapt(self, target: Any) -> "Zen":
+        """View this value at an adapted type (maps <-> pair lists)."""
+        return Zen(ex.Adapt(self.expr, ty.from_annotation(target)))
+
+
+# ----------------------------------------------------------------------
+# Constructors
+# ----------------------------------------------------------------------
+
+
+def constant(value: Any, annotation: Any) -> Zen:
+    """Lift a concrete Python value at an explicit type."""
+    zen_type = ty.from_annotation(annotation)
+    if isinstance(value, Zen):
+        if value.type != zen_type:
+            raise ZenTypeError(
+                f"value has type {value.type}, expected {zen_type}"
+            )
+        return value
+    return Zen(_constant_expr(value, zen_type))
+
+
+def _constant_expr(value: Any, zen_type: ty.ZenType) -> ex.Expr:
+    """Build a structured constant expression (lists become cons chains)."""
+    if isinstance(zen_type, ty.ListType):
+        if not isinstance(value, list):
+            raise ZenTypeError(f"expected list for {zen_type}, got {value!r}")
+        result: ex.Expr = ex.ListEmpty(zen_type.element)
+        for item in reversed(value):
+            result = ex.ListCons(_constant_expr(item, zen_type.element), result)
+        return result
+    if isinstance(zen_type, ty.OptionType):
+        if value is None:
+            return ex.OptionNone(zen_type.element)
+        return ex.OptionSome(_constant_expr(value, zen_type.element))
+    if isinstance(zen_type, ty.MapType):
+        if not isinstance(value, dict):
+            raise ZenTypeError(f"expected dict for {zen_type}, got {value!r}")
+        pairs = [(k, v) for k, v in value.items()]
+        backing = _constant_expr(pairs, zen_type.adapted())
+        return ex.Adapt(backing, zen_type)
+    if isinstance(zen_type, ty.TupleType):
+        if not isinstance(value, tuple) or len(value) != len(zen_type.elements):
+            raise ZenTypeError(f"expected {zen_type}, got {value!r}")
+        return ex.MakeTuple(
+            [
+                _constant_expr(v, t)
+                for v, t in zip(value, zen_type.elements)
+            ]
+        )
+    if isinstance(zen_type, ty.ObjectType):
+        if not isinstance(value, zen_type.cls):
+            raise ZenTypeError(f"expected {zen_type}, got {value!r}")
+        return ex.Create(
+            zen_type,
+            {
+                name: _constant_expr(getattr(value, name), ftype)
+                for name, ftype in zen_type.fields.items()
+            },
+        )
+    return ex.Constant(value, zen_type)
+
+
+def lift(value: Any, annotation: Any = None) -> Zen:
+    """Lift a Python value, inferring the type when unambiguous.
+
+    Booleans and registered dataclass instances are self-describing;
+    ints need an annotation.
+    """
+    if isinstance(value, Zen):
+        return value
+    if annotation is not None:
+        return constant(value, annotation)
+    if isinstance(value, bool):
+        return constant(value, ty.BOOL)
+    if ty.is_registered(type(value)):
+        return constant(value, ty.object_type(type(value)))
+    raise ZenTypeError(
+        f"cannot infer a Zen type for {value!r}; pass an annotation "
+        "(e.g. lift(5, UInt))"
+    )
+
+
+def _lift_to(value: Any, zen_type: ty.ZenType) -> Zen:
+    if isinstance(value, Zen):
+        if value.type != zen_type:
+            raise ZenTypeError(f"expected {zen_type}, got {value.type}")
+        return value
+    return constant(value, zen_type)
+
+
+def if_(cond: Any, then: Any, orelse: Any) -> Zen:
+    """Conditional expression over Zen values (the library's ``If``)."""
+    if not isinstance(cond, Zen):
+        cond = lift(cond)
+    if isinstance(then, Zen) and not isinstance(orelse, Zen):
+        orelse = _lift_to(orelse, then.type)
+    elif isinstance(orelse, Zen) and not isinstance(then, Zen):
+        then = _lift_to(then, orelse.type)
+    elif not isinstance(then, Zen):
+        raise ZenTypeError("if_ branches need at least one Zen value")
+    return Zen(ex.If(cond.expr, then.expr, orelse.expr))
+
+
+def symbolic(annotation: Any, name: Optional[str] = None) -> Zen:
+    """A fresh symbolic variable of the given type."""
+    zen_type = ty.from_annotation(annotation)
+    if name is None:
+        name = f"var{next(_fresh_names)}"
+    return Zen(ex.Var(name, zen_type))
+
+
+def create(cls: type, **fields: Any) -> Zen:
+    """Construct a Zen object value of a registered dataclass type."""
+    obj_type = ty.object_type(cls)
+    lifted: Dict[str, ex.Expr] = {}
+    for name, value in fields.items():
+        expected = obj_type.field_type(name)
+        lifted[name] = _lift_to(value, expected).expr
+    return Zen(ex.Create(obj_type, lifted))
+
+
+def pair(first: Zen, second: Zen, *rest: Zen) -> Zen:
+    """Construct a tuple value."""
+    items = (first, second) + rest
+    return Zen(ex.MakeTuple([z.expr for z in items]))
+
+
+def some(value: Any, annotation: Any = None) -> Zen:
+    """Construct ``Some(value)``."""
+    lifted = lift(value, annotation) if annotation or not isinstance(value, Zen) else value
+    return Zen(ex.OptionSome(lifted.expr))
+
+
+def none(annotation: Any) -> Zen:
+    """Construct ``None`` at ``Option[annotation]``."""
+    return Zen(ex.OptionNone(ty.from_annotation(annotation)))
+
+
+def empty_list(annotation: Any) -> Zen:
+    """The empty list at ``List[annotation]``."""
+    return Zen(ex.ListEmpty(ty.from_annotation(annotation)))
+
+
+def cons(head: Any, tail: Zen) -> Zen:
+    """Prepend an element to a Zen list."""
+    if not isinstance(tail.type, ty.ListType):
+        raise ZenTypeError(f"cons tail must be a list, got {tail.type}")
+    lifted = _lift_to(head, tail.type.element)
+    return Zen(ex.ListCons(lifted.expr, tail.expr))
+
+
+def zen_list(annotation: Any, items: Sequence[Any]) -> Zen:
+    """Build a Zen list from Python items (lifted at the element type)."""
+    element = ty.from_annotation(annotation)
+    result = Zen(ex.ListEmpty(element))
+    for item in reversed(list(items)):
+        result = cons(_lift_to(item, element), result)
+    return result

@@ -1,0 +1,139 @@
+"""List combinators written *on top of* the Zen language.
+
+Everything here is user-level code: each helper is an ordinary Python
+function that recurses through the host language and builds ``case``
+expressions, exactly how §3 of the paper encodes list processing.
+They demonstrate that the core language needs no built-in list
+library, and they are used by the route-map model.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..errors import ZenTypeError
+from . import types as ty
+from .builder import Zen, constant, cons, if_, some, none
+
+
+def is_empty(lst: Zen) -> Zen:
+    """Whether a Zen list is empty."""
+    return lst.case(
+        empty=lambda: constant(True, bool),
+        cons=lambda hd, tl: constant(False, bool),
+    )
+
+
+def length(lst: Zen, int_annotation: Any = ty.USHORT) -> Zen:
+    """List length as a Zen integer (default ushort)."""
+    int_type = ty.from_annotation(int_annotation)
+    return lst.case(
+        empty=lambda: constant(0, int_type),
+        cons=lambda hd, tl: length(tl, int_type) + constant(1, int_type),
+    )
+
+
+def contains(lst: Zen, item: Any) -> Zen:
+    """Whether the list contains an element equal to `item`."""
+    return lst.case(
+        empty=lambda: constant(False, bool),
+        cons=lambda hd, tl: if_(hd == item, True, contains(tl, item)),
+    )
+
+
+def any_match(lst: Zen, pred: Callable[[Zen], Zen]) -> Zen:
+    """Whether any element satisfies the predicate."""
+    return lst.case(
+        empty=lambda: constant(False, bool),
+        cons=lambda hd, tl: if_(pred(hd), True, any_match(tl, pred)),
+    )
+
+
+def all_match(lst: Zen, pred: Callable[[Zen], Zen]) -> Zen:
+    """Whether every element satisfies the predicate."""
+    return lst.case(
+        empty=lambda: constant(True, bool),
+        cons=lambda hd, tl: if_(pred(hd), all_match(tl, pred), False),
+    )
+
+
+def fold(lst: Zen, init: Zen, step: Callable[[Zen, Zen], Zen]) -> Zen:
+    """Right fold: ``step(hd, fold(tl))`` with `init` for nil."""
+    return lst.case(
+        empty=lambda: init,
+        cons=lambda hd, tl: step(hd, fold(tl, init, step)),
+    )
+
+
+def map_elements(lst: Zen, fn: Callable[[Zen], Zen]) -> Zen:
+    """Apply `fn` to every element, preserving list structure."""
+    list_type = lst.type
+    if not isinstance(list_type, ty.ListType):
+        raise ZenTypeError(f"map_elements needs a list, got {list_type}")
+
+    def go(rest: Zen) -> Zen:
+        return rest.case(
+            empty=lambda: rest,
+            cons=lambda hd, tl: cons(fn(hd), go(tl)),
+        )
+
+    result = go(lst)
+    return result
+
+
+def head_option(lst: Zen) -> Zen:
+    """The first element as an option."""
+    list_type = lst.type
+    if not isinstance(list_type, ty.ListType):
+        raise ZenTypeError(f"head_option needs a list, got {list_type}")
+    return lst.case(
+        empty=lambda: none(list_type.element),
+        cons=lambda hd, tl: some(hd),
+    )
+
+
+def find_first(lst: Zen, pred: Callable[[Zen], Zen]) -> Zen:
+    """The first element satisfying `pred`, as an option."""
+    list_type = lst.type
+    if not isinstance(list_type, ty.ListType):
+        raise ZenTypeError(f"find_first needs a list, got {list_type}")
+    return lst.case(
+        empty=lambda: none(list_type.element),
+        cons=lambda hd, tl: if_(pred(hd), some(hd), find_first(tl, pred)),
+    )
+
+
+# --- map operations over the adapted representation (§5) ----------------
+
+
+def map_get(mapping: Zen, key: Any) -> Zen:
+    """Look up a key in a Zen map; returns an option of the value."""
+    map_type = mapping.type
+    if not isinstance(map_type, ty.MapType):
+        raise ZenTypeError(f"map_get needs a map, got {map_type}")
+    entries = mapping.adapt(map_type.adapted())
+    match = find_first(entries, lambda entry: entry[0] == key)
+    return if_(
+        match.has_value(),
+        some(match.value()[1]),
+        none(map_type.value),
+    )
+
+
+def map_set(mapping: Zen, key: Any, value: Any) -> Zen:
+    """Insert/overwrite a key (new entries go to the list head)."""
+    map_type = mapping.type
+    if not isinstance(map_type, ty.MapType):
+        raise ZenTypeError(f"map_set needs a map, got {map_type}")
+    from .builder import pair, _lift_to
+
+    entries = mapping.adapt(map_type.adapted())
+    new_entry = pair(
+        _lift_to(key, map_type.key), _lift_to(value, map_type.value)
+    )
+    return cons(new_entry, entries).adapt(map_type)
+
+
+def map_contains_key(mapping: Zen, key: Any) -> Zen:
+    """Whether a key is present in a Zen map."""
+    return map_get(mapping, key).has_value()

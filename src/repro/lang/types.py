@@ -1,0 +1,416 @@
+"""The Zen type system (Figure 9 of the paper).
+
+Types ``τ`` are: ``bool``, fixed-width integers (byte, short, ushort,
+int, uint, long, ulong), pairs/tuples, objects (records), ``List[τ]``,
+``Option[τ]`` and maps (adapted to lists of pairs).
+
+Python has no fixed-width integers, so this module provides *annotation
+markers* (:data:`Byte`, :data:`UInt`, ...) that users put in dataclass
+field annotations and function signatures.  The reflection layer
+(:func:`from_annotation`) converts annotations into :class:`ZenType`
+instances, mirroring how the C# implementation introspects types at
+runtime.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Type
+
+from ..errors import ZenTypeError
+
+
+class ZenType:
+    """Base class of all Zen types.  Instances are immutable."""
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self._key() == other._key()  # type: ignore[attr-defined]
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self._key()))
+
+    def _key(self) -> tuple:
+        return ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return str(self)
+
+
+class BoolType(ZenType):
+    """The Boolean type."""
+
+    def __str__(self) -> str:
+        return "bool"
+
+
+class IntType(ZenType):
+    """A fixed-width two's-complement integer type."""
+
+    _NAMES = {
+        (8, False): "byte",
+        (8, True): "sbyte",
+        (16, True): "short",
+        (16, False): "ushort",
+        (32, True): "int",
+        (32, False): "uint",
+        (64, True): "long",
+        (64, False): "ulong",
+    }
+
+    def __init__(self, width: int, signed: bool):
+        if width <= 0:
+            raise ZenTypeError(f"integer width must be positive: {width}")
+        self.width = width
+        self.signed = signed
+
+    def _key(self) -> tuple:
+        return (self.width, self.signed)
+
+    def __str__(self) -> str:
+        name = self._NAMES.get((self.width, self.signed))
+        if name:
+            return name
+        prefix = "i" if self.signed else "u"
+        return f"{prefix}{self.width}"
+
+    @property
+    def min_value(self) -> int:
+        """Smallest representable value."""
+        return -(1 << (self.width - 1)) if self.signed else 0
+
+    @property
+    def max_value(self) -> int:
+        """Largest representable value."""
+        if self.signed:
+            return (1 << (self.width - 1)) - 1
+        return (1 << self.width) - 1
+
+    def wrap(self, value: int) -> int:
+        """Reduce a Python int into this type's range (wraparound)."""
+        masked = value & ((1 << self.width) - 1)
+        if self.signed and masked >= (1 << (self.width - 1)):
+            masked -= 1 << self.width
+        return masked
+
+    def check(self, value: int) -> int:
+        """Validate that a Python int is representable; returns it."""
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise ZenTypeError(f"expected an int for {self}, got {value!r}")
+        if not self.min_value <= value <= self.max_value:
+            raise ZenTypeError(f"{value} out of range for {self}")
+        return value
+
+
+class TupleType(ZenType):
+    """An n-ary tuple type (the paper's pairs, generalized)."""
+
+    def __init__(self, elements: Sequence[ZenType]):
+        if len(elements) < 2:
+            raise ZenTypeError("tuples need at least two elements")
+        self.elements = tuple(elements)
+
+    def _key(self) -> tuple:
+        return self.elements
+
+    def __str__(self) -> str:
+        return "(" + ", ".join(str(e) for e in self.elements) + ")"
+
+
+class ObjectType(ZenType):
+    """A record type backed by a registered Python dataclass."""
+
+    def __init__(self, cls: type, fields: Dict[str, ZenType]):
+        self.cls = cls
+        self.fields = dict(fields)
+
+    def _key(self) -> tuple:
+        return (self.cls,)
+
+    def __str__(self) -> str:
+        return self.cls.__name__
+
+    def field_type(self, name: str) -> ZenType:
+        """Type of a field; raises for unknown field names."""
+        try:
+            return self.fields[name]
+        except KeyError:
+            raise ZenTypeError(
+                f"{self.cls.__name__} has no field {name!r}; "
+                f"fields are {sorted(self.fields)}"
+            ) from None
+
+
+class ListType(ZenType):
+    """A (bounded, for symbolic reasoning) homogeneous list type."""
+
+    def __init__(self, element: ZenType):
+        self.element = element
+
+    def _key(self) -> tuple:
+        return (self.element,)
+
+    def __str__(self) -> str:
+        return f"List[{self.element}]"
+
+
+class OptionType(ZenType):
+    """An optional value, represented as a flag plus a value field."""
+
+    def __init__(self, element: ZenType):
+        self.element = element
+
+    def _key(self) -> tuple:
+        return (self.element,)
+
+    def __str__(self) -> str:
+        return f"Option[{self.element}]"
+
+
+class MapType(ZenType):
+    """A finite map, adapted to ``List[(key, value)]`` (paper §5).
+
+    The ``adapt`` expression converts between the map view and its
+    backing list-of-pairs representation; most operations are defined
+    on the adapted form.
+    """
+
+    def __init__(self, key: ZenType, value: ZenType):
+        self.key = key
+        self.value = value
+
+    def _key(self) -> tuple:
+        return (self.key, self.value)
+
+    def __str__(self) -> str:
+        return f"Map[{self.key}, {self.value}]"
+
+    def adapted(self) -> ListType:
+        """The backing representation: a list of key/value pairs."""
+        return ListType(TupleType([self.key, self.value]))
+
+
+# ----------------------------------------------------------------------
+# Singleton instances and annotation markers
+# ----------------------------------------------------------------------
+
+BOOL = BoolType()
+BYTE = IntType(8, False)
+SBYTE = IntType(8, True)
+SHORT = IntType(16, True)
+USHORT = IntType(16, False)
+INT = IntType(32, True)
+UINT = IntType(32, False)
+LONG = IntType(64, True)
+ULONG = IntType(64, False)
+
+
+class _Marker:
+    """Annotation marker resolving to a fixed ZenType."""
+
+    def __init__(self, zen_type: ZenType, name: str):
+        self.zen_type = zen_type
+        self.__name__ = name
+
+    def __repr__(self) -> str:
+        return self.__name__
+
+
+Bool = _Marker(BOOL, "Bool")
+Byte = _Marker(BYTE, "Byte")
+SByte = _Marker(SBYTE, "SByte")
+Short = _Marker(SHORT, "Short")
+UShort = _Marker(USHORT, "UShort")
+Int = _Marker(INT, "Int")
+UInt = _Marker(UINT, "UInt")
+Long = _Marker(LONG, "Long")
+ULong = _Marker(ULONG, "ULong")
+
+
+class _GenericMarker:
+    """Annotation marker for parameterized types (ZList[Int], ...)."""
+
+    def __init__(self, name: str, arity: int, build):
+        self.__name__ = name
+        self._arity = arity
+        self._build = build
+
+    def __getitem__(self, params):
+        if not isinstance(params, tuple):
+            params = (params,)
+        if len(params) != self._arity:
+            raise ZenTypeError(
+                f"{self.__name__} takes {self._arity} parameter(s)"
+            )
+        return _Parameterized(self, params)
+
+    def __repr__(self) -> str:
+        return self.__name__
+
+
+class _Parameterized:
+    """An applied generic marker, e.g. ``ZList[Int]``."""
+
+    def __init__(self, marker: _GenericMarker, params: tuple):
+        self.marker = marker
+        self.params = params
+
+    def resolve(self) -> ZenType:
+        inner = tuple(from_annotation(p) for p in self.params)
+        return self.marker._build(*inner)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(p) for p in self.params)
+        return f"{self.marker.__name__}[{inner}]"
+
+
+ZList = _GenericMarker("ZList", 1, lambda e: ListType(e))
+ZOption = _GenericMarker("ZOption", 1, lambda e: OptionType(e))
+ZPair = _GenericMarker("ZPair", 2, lambda a, b: TupleType([a, b]))
+ZMap = _GenericMarker("ZMap", 2, lambda k, v: MapType(k, v))
+
+
+# ----------------------------------------------------------------------
+# Object registration (reflection over dataclasses)
+# ----------------------------------------------------------------------
+
+_REGISTRY: Dict[type, ObjectType] = {}
+
+
+def register_object(cls: type) -> type:
+    """Register a dataclass as a Zen object type (decorator-friendly).
+
+    Field annotations must be Zen annotation markers or other
+    registered dataclasses::
+
+        @register_object
+        @dataclasses.dataclass
+        class Header:
+            dst_ip: UInt
+            src_ip: UInt
+    """
+    if not dataclasses.is_dataclass(cls):
+        raise ZenTypeError(
+            f"{cls.__name__} must be a dataclass to register as a Zen object"
+        )
+    hints = typing.get_type_hints(cls)
+    fields: Dict[str, ZenType] = {}
+    for field in dataclasses.fields(cls):
+        annotation = hints.get(field.name, field.type)
+        fields[field.name] = from_annotation(annotation)
+    obj_type = ObjectType(cls, fields)
+    _REGISTRY[cls] = obj_type
+    return cls
+
+
+def object_type(cls: type) -> ObjectType:
+    """Look up the registered ObjectType for a dataclass."""
+    try:
+        return _REGISTRY[cls]
+    except KeyError:
+        raise ZenTypeError(
+            f"{cls.__name__} is not registered; decorate it with "
+            "@register_object"
+        ) from None
+
+
+def is_registered(cls: type) -> bool:
+    """True if `cls` has been registered as a Zen object."""
+    return cls in _REGISTRY
+
+
+def from_annotation(annotation: Any) -> ZenType:
+    """Resolve a Python annotation into a ZenType.
+
+    Accepts Zen markers (``UInt``), parameterized markers
+    (``ZList[Int]``), registered dataclasses, ``bool``, ZenType
+    instances (passed through), and tuples of annotations.
+    """
+    if isinstance(annotation, ZenType):
+        return annotation
+    if isinstance(annotation, _Marker):
+        return annotation.zen_type
+    if isinstance(annotation, _Parameterized):
+        return annotation.resolve()
+    if annotation is bool:
+        return BOOL
+    if isinstance(annotation, type) and annotation in _REGISTRY:
+        return _REGISTRY[annotation]
+    if isinstance(annotation, tuple):
+        return TupleType([from_annotation(a) for a in annotation])
+    if annotation is int:
+        raise ZenTypeError(
+            "bare `int` is ambiguous; use a fixed-width marker such as "
+            "Int, UInt, Byte, ..."
+        )
+    raise ZenTypeError(f"cannot interpret annotation {annotation!r}")
+
+
+# ----------------------------------------------------------------------
+# Default (zero) values and concrete-value validation
+# ----------------------------------------------------------------------
+
+
+def default_value(zen_type: ZenType) -> Any:
+    """The all-zeros value of a type (used to pad absent list cells)."""
+    if isinstance(zen_type, BoolType):
+        return False
+    if isinstance(zen_type, IntType):
+        return 0
+    if isinstance(zen_type, TupleType):
+        return tuple(default_value(e) for e in zen_type.elements)
+    if isinstance(zen_type, ObjectType):
+        return zen_type.cls(
+            **{name: default_value(t) for name, t in zen_type.fields.items()}
+        )
+    if isinstance(zen_type, ListType):
+        return []
+    if isinstance(zen_type, OptionType):
+        return None
+    if isinstance(zen_type, MapType):
+        return {}
+    raise ZenTypeError(f"no default for {zen_type}")
+
+
+def check_value(zen_type: ZenType, value: Any) -> Any:
+    """Validate a concrete Python value against a type; returns it.
+
+    Options use ``None`` / plain values; a plain value of the element
+    type is accepted as "Some".  Maps accept Python dicts.
+    """
+    if isinstance(zen_type, BoolType):
+        if not isinstance(value, bool):
+            raise ZenTypeError(f"expected bool, got {value!r}")
+        return value
+    if isinstance(zen_type, IntType):
+        return zen_type.check(value)
+    if isinstance(zen_type, TupleType):
+        if not isinstance(value, tuple) or len(value) != len(zen_type.elements):
+            raise ZenTypeError(f"expected {zen_type}, got {value!r}")
+        return tuple(
+            check_value(t, v) for t, v in zip(zen_type.elements, value)
+        )
+    if isinstance(zen_type, ObjectType):
+        if not isinstance(value, zen_type.cls):
+            raise ZenTypeError(
+                f"expected {zen_type.cls.__name__}, got {value!r}"
+            )
+        for name, ftype in zen_type.fields.items():
+            check_value(ftype, getattr(value, name))
+        return value
+    if isinstance(zen_type, ListType):
+        if not isinstance(value, list):
+            raise ZenTypeError(f"expected list, got {value!r}")
+        return [check_value(zen_type.element, v) for v in value]
+    if isinstance(zen_type, OptionType):
+        if value is None:
+            return None
+        return check_value(zen_type.element, value)
+    if isinstance(zen_type, MapType):
+        if not isinstance(value, dict):
+            raise ZenTypeError(f"expected dict, got {value!r}")
+        return {
+            check_value(zen_type.key, k): check_value(zen_type.value, v)
+            for k, v in value.items()
+        }
+    raise ZenTypeError(f"unknown type {zen_type}")

@@ -1,0 +1,105 @@
+"""Device-level composition: inbound/outbound packet processing.
+
+This is Figure 6 of the paper: composing the ACL, forwarding and
+tunneling models is just writing new functions that call the earlier
+models.  ``fwd_in`` applies inbound policy (ACL + decapsulation);
+``fwd_out`` applies outbound policy (forwarding decision + ACL +
+encapsulation).  ``forward_along_path`` chains them along a path
+(Figure 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..lang import Zen, constant, if_, none, some
+from .acl import Acl, acl_allows
+from .fib import FwdTable, forward
+from .gre import GreTunnel, decap, encap
+from .packet import Header, Packet
+
+
+@dataclass
+class Device:
+    """A forwarding device with a FIB and a set of interfaces."""
+
+    name: str
+    fib: FwdTable
+    interfaces: List["Interface"] = field(default_factory=list)
+
+    def interface(self, port: int) -> "Interface":
+        """Look up an interface by port number."""
+        for intf in self.interfaces:
+            if intf.id == port:
+                return intf
+        raise KeyError(f"{self.name} has no interface {port}")
+
+
+@dataclass
+class Interface:
+    """A device interface with inbound/outbound policy."""
+
+    id: int
+    device: Device
+    acl_in: Optional[Acl] = None
+    acl_out: Optional[Acl] = None
+    gre_start: Optional[GreTunnel] = None
+    gre_end: Optional[GreTunnel] = None
+    neighbor: Optional["Interface"] = None
+
+    @property
+    def name(self) -> str:
+        """A readable identifier, e.g. ``u1:2``."""
+        return f"{self.device.name}:{self.id}"
+
+
+# --- the Zen models (Figure 6) -----------------------------------------
+
+
+def effective_header(pkt: Zen) -> Zen:
+    """The header devices act on: the underlay one when present."""
+    underlay = pkt.underlay_header
+    return if_(underlay.has_value(), underlay.value(), pkt.overlay_header)
+
+
+def fwd_in(intf: Interface, pkt: Zen) -> Zen:
+    """Inbound processing: ACL check then decapsulation (Fig. 6)."""
+    header = effective_header(pkt)
+    allow = (
+        acl_allows(intf.acl_in, header)
+        if intf.acl_in is not None
+        else constant(True, bool)
+    )
+    decapped = decap(intf.gre_end, pkt)
+    return if_(allow, some(decapped), none(Packet))
+
+
+def fwd_out(intf: Interface, pkt: Zen) -> Zen:
+    """Outbound processing: forwarding + ACL + encapsulation (Fig. 6)."""
+    header = effective_header(pkt)
+    port = forward(intf.device.fib, header)
+    allow = (
+        acl_allows(intf.acl_out, header)
+        if intf.acl_out is not None
+        else constant(True, bool)
+    )
+    encapped = encap(intf.gre_start, pkt)
+    pkt_out = if_(allow, some(encapped), none(Packet))
+    return if_(port == intf.id, pkt_out, none(Packet))
+
+
+def forward_along_path(path: Sequence[Interface], pkt: Zen) -> Zen:
+    """Forward a packet along alternating in/out interfaces (Fig. 7).
+
+    `path` lists the traversed interfaces in order: the packet enters
+    at ``path[0]``, leaves at ``path[1]``, enters at ``path[2]``, ...
+    Returns ``Zen<Option<Packet>>`` — None if dropped anywhere.
+    """
+    x = some(pkt)
+    for i in range(0, len(path) - 1, 2):
+        intf_in = path[i]
+        intf_out = path[i + 1]
+        x = if_(x.has_value(), fwd_in(intf_in, x.value()), x)
+        x = if_(x.has_value(), fwd_out(intf_out, x.value()), x)
+    return x

@@ -1,0 +1,64 @@
+"""Longest-prefix-match forwarding: the Zen model of Figure 4 (~18
+lines in the paper).
+
+A forwarding table holds rules in *descending prefix-length order*
+(so the first match is the longest).  ``forward`` returns the output
+port, with 0 as the null interface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from ..errors import ZenTypeError
+from ..lang import BYTE, Zen, constant, if_
+from .ip import Prefix
+
+NULL_PORT = 0
+
+
+@dataclass(frozen=True)
+class FwdRule:
+    """One forwarding entry: prefix -> output port."""
+
+    prefix: Prefix
+    port: int
+
+
+@dataclass(frozen=True)
+class FwdTable:
+    """A forwarding table sorted by descending prefix length."""
+
+    rules: Tuple[FwdRule, ...]
+
+    @classmethod
+    def of(cls, rules: Sequence[FwdRule]) -> "FwdTable":
+        ordered = tuple(
+            sorted(rules, key=lambda r: r.prefix.length, reverse=True)
+        )
+        return cls(rules=ordered)
+
+    def __post_init__(self) -> None:
+        lengths = [r.prefix.length for r in self.rules]
+        if lengths != sorted(lengths, reverse=True):
+            raise ZenTypeError(
+                "forwarding rules must be in descending prefix-length "
+                "order; use FwdTable.of to sort them"
+            )
+
+
+# --- the Zen model (Figure 4) -----------------------------------------
+
+
+def prefix_matches(rule: FwdRule, h: Zen) -> Zen:
+    """Whether the rule's prefix matches the header's destination."""
+    return (h.dst_ip & rule.prefix.mask) == rule.prefix.address
+
+
+def forward(table: FwdTable, h: Zen, i: int = 0) -> Zen:
+    """Longest-prefix-match forwarding; returns the port (Zen<byte>)."""
+    if i >= len(table.rules):
+        return constant(NULL_PORT, BYTE)  # null interface
+    rule = table.rules[i]
+    return if_(prefix_matches(rule, h), rule.port, forward(table, h, i + 1))

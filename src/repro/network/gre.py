@@ -1,0 +1,51 @@
+"""IP GRE tunnels: the Zen model of Figure 5 (~21 lines in the paper).
+
+``encap`` pushes an underlay header carrying the tunnel endpoints;
+``decap`` strips it.  Both are identity when no tunnel is configured,
+mirroring the paper's null checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..lang import Zen, create, none, some
+from .packet import PROTO_GRE, Header, Packet
+
+
+@dataclass(frozen=True)
+class GreTunnel:
+    """A GRE tunnel between two underlay endpoints."""
+
+    src_ip: int
+    dst_ip: int
+
+
+def encap(tunnel: Optional[GreTunnel], pkt: Zen) -> Zen:
+    """Encapsulate: add an underlay header for the tunnel (Figure 5)."""
+    if tunnel is None:
+        return pkt
+    overlay = pkt.overlay_header
+    underlay = create(
+        Header,
+        dst_ip=tunnel.dst_ip,
+        src_ip=tunnel.src_ip,
+        dst_port=overlay.dst_port,
+        src_port=overlay.src_port,
+        protocol=PROTO_GRE,
+    )
+    return create(
+        Packet, overlay_header=overlay, underlay_header=some(underlay)
+    )
+
+
+def decap(tunnel: Optional[GreTunnel], pkt: Zen) -> Zen:
+    """Decapsulate: strip the underlay header (Figure 5)."""
+    if tunnel is None:
+        return pkt
+    return create(
+        Packet,
+        overlay_header=pkt.overlay_header,
+        underlay_header=none(Header),
+    )

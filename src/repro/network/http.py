@@ -1,0 +1,123 @@
+"""Application-layer models: an HTTP firewall with URL matching.
+
+The paper's introduction names "HTTP firewalls and URL-based
+forwarding" as functionality no verification tool covers today; this
+module shows the Zen language reaching layer 7.  Zen has no string
+type, so URLs are bounded lists of bytes — exercising exactly the
+composite-structure machinery of §6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from ..lang import Byte, UShort, Zen, ZList, constant, if_, register_object, zen_list
+from ..lang.listops import head_option
+
+
+@register_object
+@dataclass(frozen=True)
+class HttpRequest:
+    """A (heavily abstracted) HTTP request."""
+
+    method: Byte          # 0 = GET, 1 = POST, 2 = PUT, 3 = DELETE
+    path: ZList[Byte]     # URL path as bytes, bounded length
+    host_hash: UShort     # hash of the Host header
+
+GET, POST, PUT, DELETE = range(4)
+
+
+def encode_path(text: str) -> list:
+    """Encode an ASCII path into the byte-list representation."""
+    return [ord(c) & 0xFF for c in text]
+
+
+@dataclass(frozen=True)
+class HttpRule:
+    """One firewall rule: method/prefix/host matching with an action."""
+
+    action: bool
+    methods: Tuple[int, ...] = ()
+    path_prefix: str = ""
+    host_hash: int = -1  # -1 = any host
+
+
+@dataclass(frozen=True)
+class HttpFirewall:
+    """An ordered rule list with implicit deny."""
+
+    name: str
+    rules: Tuple[HttpRule, ...]
+
+    @classmethod
+    def of(cls, name: str, rules: Sequence[HttpRule]) -> "HttpFirewall":
+        return cls(name=name, rules=tuple(rules))
+
+
+# --- the Zen model ----------------------------------------------------
+
+
+def path_has_prefix(path: Zen, prefix: str) -> Zen:
+    """Whether a byte-list path starts with an ASCII prefix."""
+    if not prefix:
+        return constant(True, bool)
+    first = prefix[0]
+
+    def check_head(rest: Zen) -> Zen:
+        return rest.case(
+            empty=lambda: constant(False, bool),
+            cons=lambda hd, tl: if_(
+                hd == (ord(first) & 0xFF),
+                path_has_prefix_tail(tl, prefix[1:]),
+                constant(False, bool),
+            ),
+        )
+
+    return check_head(path)
+
+
+def path_has_prefix_tail(path: Zen, prefix: str) -> Zen:
+    """Continuation of :func:`path_has_prefix` past the first byte."""
+    return path_has_prefix(path, prefix)
+
+
+def http_rule_matches(rule: HttpRule, request: Zen) -> Zen:
+    """Whether a request matches one firewall rule."""
+    cond = constant(True, bool)
+    if rule.methods:
+        any_method = constant(False, bool)
+        for method in rule.methods:
+            any_method = any_method | (request.method == method)
+        cond = cond & any_method
+    if rule.path_prefix:
+        cond = cond & path_has_prefix(request.path, rule.path_prefix)
+    if rule.host_hash >= 0:
+        cond = cond & (request.host_hash == rule.host_hash)
+    return cond
+
+
+def http_allows(firewall: HttpFirewall, request: Zen, i: int = 0) -> Zen:
+    """Whether the firewall admits a request (first match wins)."""
+    if i >= len(firewall.rules):
+        return constant(False, bool)  # implicit deny
+    rule = firewall.rules[i]
+    return if_(
+        http_rule_matches(rule, request),
+        constant(rule.action, bool),
+        http_allows(firewall, request, i + 1),
+    )
+
+
+def url_forward(
+    routes: Sequence[Tuple[str, int]], request: Zen, default: int = 0
+) -> Zen:
+    """URL-based forwarding: map path prefixes to backend ids."""
+    result = constant(default, Byte)
+    for prefix, backend in reversed(list(routes)):
+        result = if_(
+            path_has_prefix(request.path, prefix),
+            constant(backend, Byte),
+            result,
+        )
+    return result

@@ -1,0 +1,81 @@
+"""IPv4 addresses and prefixes (concrete helpers for building models).
+
+These are plain Python values used to *construct* network models
+(ACL rules, forwarding tables); the models themselves operate on Zen
+integer values.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Tuple
+
+from ..errors import ZenTypeError
+
+MAX_IP = (1 << 32) - 1
+
+
+def ip_to_int(text: str) -> int:
+    """Parse dotted-quad notation into a 32-bit integer."""
+    parts = text.split(".")
+    if len(parts) != 4:
+        raise ZenTypeError(f"malformed IPv4 address {text!r}")
+    value = 0
+    for part in parts:
+        octet = int(part)
+        if not 0 <= octet <= 255:
+            raise ZenTypeError(f"malformed IPv4 address {text!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def int_to_ip(value: int) -> str:
+    """Format a 32-bit integer as dotted-quad notation."""
+    if not 0 <= value <= MAX_IP:
+        raise ZenTypeError(f"IPv4 address out of range: {value}")
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def prefix_mask(length: int) -> int:
+    """The 32-bit network mask for a prefix length."""
+    if not 0 <= length <= 32:
+        raise ZenTypeError(f"prefix length out of range: {length}")
+    return (MAX_IP << (32 - length)) & MAX_IP if length else 0
+
+
+@dataclasses.dataclass(frozen=True)
+class Prefix:
+    """An IPv4 prefix in canonical (masked) form."""
+
+    address: int
+    length: int
+
+    def __post_init__(self) -> None:
+        mask = prefix_mask(self.length)
+        object.__setattr__(self, "address", self.address & mask)
+
+    @classmethod
+    def parse(cls, text: str) -> "Prefix":
+        """Parse ``a.b.c.d/len`` (bare addresses mean /32)."""
+        if "/" in text:
+            addr, _, length = text.partition("/")
+            return cls(ip_to_int(addr), int(length))
+        return cls(ip_to_int(text), 32)
+
+    @property
+    def mask(self) -> int:
+        """The network mask as a 32-bit integer."""
+        return prefix_mask(self.length)
+
+    def contains(self, ip: int) -> bool:
+        """Concrete membership check."""
+        return (ip & self.mask) == self.address
+
+    def range(self) -> Tuple[int, int]:
+        """The inclusive [low, high] address range of the prefix."""
+        low = self.address
+        high = self.address | (MAX_IP >> self.length if self.length else MAX_IP)
+        return low, high
+
+    def __str__(self) -> str:
+        return f"{int_to_ip(self.address)}/{self.length}"

@@ -1,0 +1,98 @@
+"""The virtualized network of Figure 3: overlay endpoints Va/Vb over
+an underlay U1-U2-U3 with GRE tunneling.
+
+The builder can optionally inject the cross-layer bug the paper
+motivates compositional verification with: an underlay ACL that drops
+some overlay (GRE) traffic.  Verifying the overlay and underlay in
+isolation misses this bug; the composed model finds it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from .acl import DENY, PERMIT, Acl, AclRule
+from .device import Interface
+from .gre import GreTunnel
+from .ip import Prefix, ip_to_int
+from .packet import PROTO_GRE
+from .topology import Network
+
+VA_IP = ip_to_int("192.168.1.1")
+VB_IP = ip_to_int("192.168.1.2")
+U1_IP = ip_to_int("10.0.0.1")
+U3_IP = ip_to_int("10.0.0.3")
+
+
+@dataclass
+class VirtualNetwork:
+    """The assembled Figure-3 scenario with named entry points."""
+
+    network: Network
+    va_uplink: Interface  # where Va's packets enter U1
+    vb_uplink: Interface  # where Vb's packets exit U3 (and enter reversed)
+    path_va_to_vb: List[Interface]  # in/out alternating, for Fig. 7
+
+
+def build_virtual_network(
+    buggy_underlay_acl: bool = False,
+    underlay_blocked_port: Optional[int] = None,
+) -> VirtualNetwork:
+    """Build the overlay/underlay network of Figure 3.
+
+    With ``buggy_underlay_acl`` the middle underlay device U2 carries
+    an ACL that drops GRE packets whose (copied) destination port is
+    below 1024 — a plausible "block well-known ports" rule that was
+    never meant to apply to tunneled overlay traffic.
+    """
+    net = Network()
+    tunnel = GreTunnel(src_ip=U1_IP, dst_ip=U3_IP)
+
+    # Underlay devices forward the tunnel endpoint addresses.
+    u1 = net.add_device(
+        "u1", [("10.0.0.3/32", 2), ("10.0.0.1/32", 1), ("192.168.1.0/24", 2)]
+    )
+    u2 = net.add_device("u2", [("10.0.0.3/32", 2), ("10.0.0.1/32", 1)])
+    u3 = net.add_device(
+        "u3", [("10.0.0.1/32", 1), ("192.168.1.0/24", 2), ("10.0.0.3/32", 2)]
+    )
+
+    blocked = underlay_blocked_port if underlay_blocked_port is not None else 1023
+    u2_acl = None
+    if buggy_underlay_acl:
+        u2_acl = Acl.of(
+            "u2-block-low-ports",
+            [
+                AclRule(
+                    DENY,
+                    dst=Prefix.parse("10.0.0.3/32"),
+                    dst_ports=(0, blocked),
+                    protocol=PROTO_GRE,
+                ),
+                AclRule(PERMIT),
+            ],
+        )
+
+    # U1: port 1 faces Va, port 2 faces U2.  Encap towards the tunnel.
+    u1_p1 = net.add_interface(u1, 1)
+    u1_p2 = net.add_interface(u1, 2, gre_start=tunnel)
+    # U2: port 1 faces U1, port 2 faces U3; the (optionally buggy) ACL
+    # sits inbound on the U1-facing interface.
+    u2_p1 = net.add_interface(u2, 1, acl_in=u2_acl)
+    u2_p2 = net.add_interface(u2, 2)
+    # U3: port 1 faces U2 (decap), port 2 faces Vb.
+    u3_p1 = net.add_interface(u3, 1, gre_end=tunnel)
+    u3_p2 = net.add_interface(u3, 2)
+
+    net.link(u1_p2, u2_p1)
+    net.link(u2_p2, u3_p1)
+
+    # Packet path Va -> Vb (Figure 7 convention: in/out alternating).
+    path = [u1_p1, u1_p2, u2_p1, u2_p2, u3_p1, u3_p2]
+    return VirtualNetwork(
+        network=net,
+        va_uplink=u1_p1,
+        vb_uplink=u3_p2,
+        path_va_to_vb=path,
+    )

@@ -1,0 +1,60 @@
+"""Packet and header models (Figure 4 of the paper).
+
+A :class:`Header` is a five-tuple; a :class:`Packet` carries an
+overlay header plus an optional underlay header added by tunnel
+encapsulation (Figure 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..lang import Byte, UInt, UShort, ZOption, register_object
+
+PROTO_ICMP = 1
+PROTO_TCP = 6
+PROTO_UDP = 17
+PROTO_GRE = 47
+
+
+@register_object
+@dataclass(frozen=True)
+class Header:
+    """An IP header five-tuple."""
+
+    dst_ip: UInt
+    src_ip: UInt
+    dst_port: UShort
+    src_port: UShort
+    protocol: Byte
+
+
+@register_object
+@dataclass(frozen=True)
+class Packet:
+    """A packet with an overlay header and optional underlay header."""
+
+    overlay_header: Header
+    underlay_header: ZOption[Header]
+
+
+def make_header(
+    dst_ip: int = 0,
+    src_ip: int = 0,
+    dst_port: int = 0,
+    src_port: int = 0,
+    protocol: int = PROTO_TCP,
+) -> Header:
+    """Convenience constructor with sensible defaults."""
+    return Header(
+        dst_ip=dst_ip,
+        src_ip=src_ip,
+        dst_port=dst_port,
+        src_port=src_port,
+        protocol=protocol,
+    )
+
+
+def make_packet(overlay: Header, underlay: Header | None = None) -> Packet:
+    """Convenience constructor for concrete packets."""
+    return Packet(overlay_header=overlay, underlay_header=underlay)

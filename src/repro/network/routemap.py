@@ -1,0 +1,161 @@
+"""Vendor-style BGP route maps: the Zen model from Table 2 (~75 lines).
+
+A route map is a prioritized list of clauses.  Each clause matches on
+prefix lists, community membership and AS-path length, and either
+denies the route or permits it after applying actions (set local-pref
+/ MED, add a community, prepend to the AS path).  The model processes
+a symbolic :class:`Route` whose community and AS-path lists are
+bounded symbolic lists — the data structures the paper found the SMT
+backend to handle better than BDDs (Figure 10, right).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from ..lang import (
+    Byte,
+    UInt,
+    UShort,
+    Zen,
+    ZList,
+    constant,
+    cons,
+    create,
+    if_,
+    none,
+    register_object,
+    some,
+)
+from ..lang.listops import contains
+from .ip import Prefix
+
+
+@register_object
+@dataclass(frozen=True)
+class Route:
+    """A BGP route advertisement."""
+
+    prefix: UInt
+    prefix_len: Byte
+    local_pref: UInt
+    med: UInt
+    as_path: ZList[UShort]
+    communities: ZList[UInt]
+
+
+@dataclass(frozen=True)
+class PrefixRange:
+    """A prefix-list entry: prefix plus allowed length bounds (ge/le)."""
+
+    prefix: Prefix
+    ge: int = 0
+    le: int = 32
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.ge <= self.le <= 32:
+            raise ValueError("prefix range bounds must satisfy 0<=ge<=le<=32")
+
+
+@dataclass(frozen=True)
+class RouteMapClause:
+    """One route-map stanza: match conditions plus actions."""
+
+    action: bool  # True = permit, False = deny
+    match_prefixes: Tuple[PrefixRange, ...] = ()
+    match_community: Optional[int] = None
+    match_as_path_contains: Optional[int] = None
+    set_local_pref: Optional[int] = None
+    set_med: Optional[int] = None
+    add_community: Optional[int] = None
+    prepend_as: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class RouteMap:
+    """A named, ordered list of clauses (implicit deny at the end)."""
+
+    name: str
+    clauses: Tuple[RouteMapClause, ...]
+
+    @classmethod
+    def of(cls, name: str, clauses: Sequence[RouteMapClause]) -> "RouteMap":
+        return cls(name=name, clauses=tuple(clauses))
+
+
+# --- the Zen model ----------------------------------------------------
+
+
+def prefix_range_matches(entry: PrefixRange, route: Zen) -> Zen:
+    """Whether a route's prefix falls within a prefix-list entry."""
+    cond = (route.prefix & entry.prefix.mask) == entry.prefix.address
+    cond = cond & (route.prefix_len >= max(entry.ge, entry.prefix.length))
+    cond = cond & (route.prefix_len <= entry.le)
+    return cond
+
+
+def clause_matches(clause: RouteMapClause, route: Zen) -> Zen:
+    """Whether a route matches all of a clause's conditions."""
+    cond = constant(True, bool)
+    if clause.match_prefixes:
+        any_prefix = constant(False, bool)
+        for entry in clause.match_prefixes:
+            any_prefix = any_prefix | prefix_range_matches(entry, route)
+        cond = cond & any_prefix
+    if clause.match_community is not None:
+        cond = cond & contains(route.communities, clause.match_community)
+    if clause.match_as_path_contains is not None:
+        cond = cond & contains(route.as_path, clause.match_as_path_contains)
+    return cond
+
+
+def apply_actions(clause: RouteMapClause, route: Zen) -> Zen:
+    """Apply a permitting clause's set actions to the route."""
+    result = route
+    if clause.set_local_pref is not None:
+        result = result.with_field("local_pref", clause.set_local_pref)
+    if clause.set_med is not None:
+        result = result.with_field("med", clause.set_med)
+    if clause.add_community is not None:
+        result = result.with_field(
+            "communities",
+            cons(
+                constant(clause.add_community, UInt),
+                result.communities,
+            ),
+        )
+    if clause.prepend_as is not None:
+        result = result.with_field(
+            "as_path",
+            cons(constant(clause.prepend_as, UShort), result.as_path),
+        )
+    return result
+
+
+def apply_route_map(route_map: RouteMap, route: Zen, i: int = 0) -> Zen:
+    """Process a route through the map; None when denied."""
+    if i >= len(route_map.clauses):
+        return none(Route)  # implicit deny
+    clause = route_map.clauses[i]
+    outcome = (
+        some(apply_actions(clause, route))
+        if clause.action
+        else none(Route)
+    )
+    return if_(
+        clause_matches(clause, route),
+        outcome,
+        apply_route_map(route_map, route, i + 1),
+    )
+
+
+def route_map_match_line(route_map: RouteMap, route: Zen, i: int = 0) -> Zen:
+    """The 1-based clause number that matches, 0 if none (tracking)."""
+    if i >= len(route_map.clauses):
+        return constant(0, UShort)
+    return if_(
+        clause_matches(route_map.clauses[i], route),
+        constant(i + 1, UShort),
+        route_map_match_line(route_map, route, i + 1),
+    )

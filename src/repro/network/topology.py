@@ -1,0 +1,189 @@
+"""Network topology assembly and concrete simulation.
+
+A :class:`Network` wires devices and links together, and
+:func:`simulate` performs Batfish-style concrete packet simulation by
+repeatedly executing the (Zen) device models on concrete values —
+possible because Zen models are executable (§4 "Simulation").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core import ZenFunction
+from ..errors import ZenTypeError
+from .acl import Acl
+from .device import Device, Interface, effective_header, fwd_in, fwd_out
+from .fib import NULL_PORT, FwdRule, FwdTable, forward
+from .gre import GreTunnel
+from .ip import Prefix
+from .packet import Packet
+
+
+class Network:
+    """A collection of devices connected by point-to-point links."""
+
+    def __init__(self) -> None:
+        self._devices: Dict[str, Device] = {}
+
+    @property
+    def devices(self) -> Dict[str, Device]:
+        """Devices by name."""
+        return dict(self._devices)
+
+    def add_device(
+        self,
+        name: str,
+        fib_rules: Iterable[Tuple[str, int]] = (),
+    ) -> Device:
+        """Add a device with (prefix string, port) forwarding rules."""
+        if name in self._devices:
+            raise ZenTypeError(f"duplicate device {name!r}")
+        table = FwdTable.of(
+            [FwdRule(Prefix.parse(p), port) for p, port in fib_rules]
+        )
+        device = Device(name=name, fib=table)
+        self._devices[name] = device
+        return device
+
+    def add_interface(
+        self,
+        device: Device,
+        port: int,
+        acl_in: Optional[Acl] = None,
+        acl_out: Optional[Acl] = None,
+        gre_start: Optional[GreTunnel] = None,
+        gre_end: Optional[GreTunnel] = None,
+    ) -> Interface:
+        """Add an interface to a device."""
+        intf = Interface(
+            id=port,
+            device=device,
+            acl_in=acl_in,
+            acl_out=acl_out,
+            gre_start=gre_start,
+            gre_end=gre_end,
+        )
+        device.interfaces.append(intf)
+        return intf
+
+    def link(self, a: Interface, b: Interface) -> None:
+        """Connect two interfaces with a bidirectional link."""
+        if a.neighbor is not None or b.neighbor is not None:
+            raise ZenTypeError("interface already linked")
+        a.neighbor = b
+        b.neighbor = a
+
+    def device(self, name: str) -> Device:
+        """Look up a device by name."""
+        return self._devices[name]
+
+    def interfaces(self) -> List[Interface]:
+        """All interfaces across all devices."""
+        return [
+            intf
+            for device in self._devices.values()
+            for intf in device.interfaces
+        ]
+
+
+@dataclass(frozen=True)
+class Hop:
+    """One step of a simulated packet trace."""
+
+    interface_in: str
+    interface_out: Optional[str]
+    packet: Packet
+
+
+@dataclass(frozen=True)
+class Trace:
+    """The result of simulating a packet through the network."""
+
+    hops: Tuple[Hop, ...]
+    outcome: str  # "delivered", "dropped_in", "dropped_out", "no_route",
+    # "exited", or "loop"
+    final_packet: Optional[Packet]
+
+
+class _ModelCache:
+    """Caches the per-interface Zen models built during simulation."""
+
+    def __init__(self) -> None:
+        self._in: Dict[int, ZenFunction] = {}
+        self._out: Dict[int, ZenFunction] = {}
+        self._fib: Dict[int, ZenFunction] = {}
+
+    def in_model(self, intf: Interface) -> ZenFunction:
+        key = id(intf)
+        if key not in self._in:
+            self._in[key] = ZenFunction(
+                lambda p, i=intf: fwd_in(i, p), [Packet], name="fwd_in"
+            )
+        return self._in[key]
+
+    def out_model(self, intf: Interface) -> ZenFunction:
+        key = id(intf)
+        if key not in self._out:
+            self._out[key] = ZenFunction(
+                lambda p, i=intf: fwd_out(i, p), [Packet], name="fwd_out"
+            )
+        return self._out[key]
+
+    def fib_model(self, device: Device) -> ZenFunction:
+        key = id(device)
+        if key not in self._fib:
+            self._fib[key] = ZenFunction(
+                lambda p, d=device: forward(d.fib, effective_header(p)),
+                [Packet],
+                name="fib",
+            )
+        return self._fib[key]
+
+
+def simulate(
+    network: Network,
+    entry: Interface,
+    packet: Packet,
+    max_hops: int = 32,
+    _cache: Optional[_ModelCache] = None,
+) -> Trace:
+    """Concretely simulate a packet entering at an interface.
+
+    At each device the packet passes inbound processing at the entry
+    interface, the device picks an output port via its FIB, outbound
+    processing runs at that port, and the packet crosses the link.
+    The trace ends when the packet is dropped (inbound ACL, no route,
+    or outbound ACL), leaves the network via an unlinked interface,
+    or exceeds `max_hops` (reported as a loop).
+    """
+    cache = _cache if _cache is not None else _ModelCache()
+    hops: List[Hop] = []
+    current = packet
+    intf = entry
+    for _ in range(max_hops):
+        after_in = cache.in_model(intf).evaluate(current)
+        if after_in is None:
+            hops.append(Hop(intf.name, None, current))
+            return Trace(tuple(hops), "dropped_in", None)
+        current = after_in
+        port = cache.fib_model(intf.device).evaluate(current)
+        if port == NULL_PORT:
+            hops.append(Hop(intf.name, None, current))
+            return Trace(tuple(hops), "no_route", None)
+        try:
+            out_intf = intf.device.interface(port)
+        except KeyError:
+            hops.append(Hop(intf.name, None, current))
+            return Trace(tuple(hops), "no_route", None)
+        after_out = cache.out_model(out_intf).evaluate(current)
+        if after_out is None:
+            hops.append(Hop(intf.name, out_intf.name, current))
+            return Trace(tuple(hops), "dropped_out", None)
+        hops.append(Hop(intf.name, out_intf.name, after_out))
+        current = after_out
+        if out_intf.neighbor is None:
+            return Trace(tuple(hops), "exited", current)
+        intf = out_intf.neighbor
+    return Trace(tuple(hops), "loop", current)

@@ -1,0 +1,89 @@
+"""DIMACS CNF reading and writing.
+
+The SAT substrate is usable standalone; these helpers let users feed
+standard benchmark files to :class:`repro.sat.Solver` and dump the CNF
+produced by the bitblaster for inspection with external tools.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, TextIO, Tuple
+
+from ..errors import ZenSolverError
+
+
+def parse_dimacs(text: str) -> Tuple[int, List[List[int]]]:
+    """Parse DIMACS CNF text into (num_vars, clauses).
+
+    Accepts comment lines (``c ...``), a problem line (``p cnf V C``),
+    and clauses terminated by ``0``.  Clauses may span multiple lines.
+    """
+    num_vars = 0
+    declared_clauses = -1
+    clauses: List[List[int]] = []
+    current: List[int] = []
+    saw_problem = False
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line or line.startswith("c"):
+            continue
+        if line.startswith("p"):
+            parts = line.split()
+            if len(parts) != 4 or parts[1] != "cnf":
+                raise ZenSolverError(f"malformed problem line: {line!r}")
+            num_vars = int(parts[2])
+            declared_clauses = int(parts[3])
+            saw_problem = True
+            continue
+        for tok in line.split():
+            lit = int(tok)
+            if lit == 0:
+                clauses.append(current)
+                current = []
+            else:
+                if abs(lit) > num_vars:
+                    num_vars = abs(lit)
+                current.append(lit)
+    if current:
+        clauses.append(current)
+    if not saw_problem and not clauses:
+        raise ZenSolverError("empty DIMACS input")
+    if declared_clauses >= 0 and declared_clauses != len(clauses):
+        # Tolerated (many generators emit wrong counts) but normalized.
+        pass
+    return num_vars, clauses
+
+
+def write_dimacs(
+    num_vars: int, clauses: Sequence[Iterable[int]], out: TextIO
+) -> None:
+    """Write clauses as DIMACS CNF to a text stream."""
+    clause_list = [list(c) for c in clauses]
+    out.write(f"p cnf {num_vars} {len(clause_list)}\n")
+    for clause in clause_list:
+        out.write(" ".join(str(lit) for lit in clause))
+        out.write(" 0\n")
+
+
+def dimacs_string(num_vars: int, clauses: Sequence[Iterable[int]]) -> str:
+    """Return the DIMACS CNF text for the given clauses."""
+    import io
+
+    buf = io.StringIO()
+    write_dimacs(num_vars, clauses, buf)
+    return buf.getvalue()
+
+
+def load_into_solver(text: str, solver) -> bool:
+    """Parse DIMACS text and add it to a solver.
+
+    Returns False if the formula is trivially unsatisfiable during
+    loading.  Variables are allocated to cover the declared count.
+    """
+    num_vars, clauses = parse_dimacs(text)
+    while solver.num_vars < num_vars:
+        solver.new_var()
+    ok = True
+    for clause in clauses:
+        ok = solver.add_clause(clause) and ok
+    return ok

@@ -1,0 +1,597 @@
+"""A CDCL (conflict-driven clause learning) SAT solver.
+
+This is the bottom-most substrate of the library: the paper's "SMT"
+backend bitblasts bitvector formulas to SAT, and this module provides
+the SAT engine.  The design follows MiniSat:
+
+* two-watched-literal unit propagation,
+* first-UIP conflict analysis with learned-clause minimization,
+* VSIDS variable activities with phase saving,
+* Luby-sequence restarts,
+* activity-driven learned-clause database reduction, and
+* incremental solving under assumptions.
+
+Literals use the DIMACS convention externally (positive/negative
+integers, variables numbered from 1).  Internally a literal ``l`` for
+variable ``v`` is encoded as ``2*v`` (positive) or ``2*v + 1``
+(negative) so watch lists can be indexed by literal.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+from ..errors import ZenSolverError
+
+_UNASSIGNED = -1
+_FALSE = 0
+_TRUE = 1
+
+
+def luby(i: int) -> int:
+    """Return the i-th element (1-based) of the Luby restart sequence.
+
+    The sequence is 1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8, ...:
+    if i == 2^k - 1 the value is 2^(k-1), otherwise recurse on the
+    position within the trailing copy of a smaller prefix.
+    """
+    if i <= 0:
+        raise ZenSolverError(f"luby index must be positive: {i}")
+    while True:
+        k = i.bit_length()
+        if (1 << k) - 1 == i:
+            return 1 << (k - 1)
+        i = i - (1 << (k - 1)) + 1
+
+
+class _Clause:
+    """A clause: internal literals plus learning metadata."""
+
+    __slots__ = ("lits", "learned", "activity")
+
+    def __init__(self, lits: List[int], learned: bool):
+        self.lits = lits
+        self.learned = learned
+        self.activity = 0.0
+
+    def __len__(self) -> int:
+        return len(self.lits)
+
+
+class Solver:
+    """An incremental CDCL SAT solver over DIMACS-style literals.
+
+    Typical usage::
+
+        s = Solver()
+        a, b = s.new_var(), s.new_var()
+        s.add_clause([a, b])
+        s.add_clause([-a])
+        assert s.solve()
+        assert s.model_value(b)
+    """
+
+    def __init__(self) -> None:
+        self._num_vars = 0
+        self._clauses: List[_Clause] = []
+        self._learned: List[_Clause] = []
+        # Indexed by internal literal (two slots per variable).
+        self._watches: List[List[_Clause]] = []
+        # Per-variable state; index 0 is unused padding.
+        self._value: List[int] = [_UNASSIGNED]
+        self._level: List[int] = [0]
+        self._reason: List[Optional[_Clause]] = [None]
+        self._activity: List[float] = [0.0]
+        self._phase: List[bool] = [False]
+        self._seen: List[bool] = [False]
+        # Trail of assigned internal literals and decision boundaries.
+        self._trail: List[int] = []
+        self._trail_lim: List[int] = []
+        self._qhead = 0
+        # VSIDS bookkeeping.  The decision order is a lazy max-heap of
+        # (-activity, var) entries; stale entries are skipped on pop.
+        self._var_inc = 1.0
+        self._var_decay = 1.0 / 0.95
+        self._cla_inc = 1.0
+        self._cla_decay = 1.0 / 0.999
+        self._order: List[tuple[float, int]] = []
+        self._ok = True
+        self._model: List[int] = []
+        self._conflicts = 0
+        self._decisions = 0
+        self._propagations = 0
+        self._max_learned = 5000
+        # Per-solve assumption state.
+        self._num_assumed_levels = 0
+        self._next_assumption = 0
+        self._failed_assumptions: List[int] = []
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    @property
+    def num_vars(self) -> int:
+        """Number of variables allocated so far."""
+        return self._num_vars
+
+    @property
+    def num_clauses(self) -> int:
+        """Number of problem (non-learned) clauses."""
+        return len(self._clauses)
+
+    @property
+    def statistics(self) -> dict:
+        """Counters for conflicts, decisions and propagations."""
+        return {
+            "conflicts": self._conflicts,
+            "decisions": self._decisions,
+            "propagations": self._propagations,
+            "learned": len(self._learned),
+        }
+
+    def new_var(self) -> int:
+        """Allocate a fresh variable and return its (positive) index."""
+        self._num_vars += 1
+        self._value.append(_UNASSIGNED)
+        self._level.append(0)
+        self._reason.append(None)
+        self._activity.append(0.0)
+        self._phase.append(False)
+        self._seen.append(False)
+        self._watches.append([])
+        self._watches.append([])
+        heapq.heappush(self._order, (0.0, self._num_vars))
+        return self._num_vars
+
+    def add_clause(self, lits: Iterable[int]) -> bool:
+        """Add a clause of DIMACS literals.
+
+        Returns False if the solver is already known to be unsatisfiable
+        (either before the call or as a result of this clause).
+        """
+        if not self._ok:
+            return False
+        if self._trail_lim:
+            raise ZenSolverError("add_clause called during solving")
+        seen: set[int] = set()
+        simplified: List[int] = []
+        for lit in lits:
+            v = abs(lit)
+            if v == 0 or v > self._num_vars:
+                raise ZenSolverError(f"unknown variable in literal {lit}")
+            ilit = self._internal(lit)
+            val = self._lit_value(ilit)
+            if val == _TRUE:
+                return True  # satisfied at level 0
+            if val == _FALSE:
+                continue  # falsified at level 0; drop the literal
+            if ilit in seen:
+                continue
+            if ilit ^ 1 in seen:
+                return True  # tautology
+            seen.add(ilit)
+            simplified.append(ilit)
+        if not simplified:
+            self._ok = False
+            return False
+        if len(simplified) == 1:
+            if not self._enqueue(simplified[0], None):
+                self._ok = False
+                return False
+            if self._propagate() is not None:
+                self._ok = False
+                return False
+            return True
+        clause = _Clause(simplified, learned=False)
+        self._clauses.append(clause)
+        self._attach(clause)
+        return True
+
+    def solve(self, assumptions: Sequence[int] = ()) -> bool:
+        """Search for a model, optionally under assumption literals.
+
+        On success the model is queryable via :meth:`model_value`.  On
+        failure under assumptions, :meth:`failed_assumptions` returns
+        the subset of assumptions assigned when the conflict arose.
+        """
+        self._failed_assumptions = []
+        self._model = []
+        if not self._ok:
+            return False
+        assume = [self._internal(lit) for lit in assumptions]
+        restarts = 0
+        try:
+            while True:
+                self._num_assumed_levels = 0
+                self._next_assumption = 0
+                status = self._search(100 * luby(restarts + 1), assume)
+                if status is not None:
+                    return status
+                restarts += 1
+                self._cancel_until(0)
+        finally:
+            self._cancel_until(0)
+
+    def model_value(self, var: int) -> bool:
+        """Return the value of a variable in the most recent model."""
+        if not self._model:
+            raise ZenSolverError("no model available (last solve failed?)")
+        if var <= 0 or var > self._num_vars:
+            raise ZenSolverError(f"unknown variable {var}")
+        return self._model[var] == _TRUE
+
+    def model(self) -> List[int]:
+        """Return the most recent model as a list of DIMACS literals."""
+        if not self._model:
+            raise ZenSolverError("no model available (last solve failed?)")
+        return [
+            v if self._model[v] == _TRUE else -v
+            for v in range(1, self._num_vars + 1)
+        ]
+
+    def failed_assumptions(self) -> List[int]:
+        """Assumptions (DIMACS) involved in the last failed solve."""
+        return list(self._failed_assumptions)
+
+    def iter_models(
+        self, variables: Optional[Sequence[int]] = None, limit: int = 1 << 20
+    ) -> Iterator[List[int]]:
+        """Enumerate models by adding blocking clauses over `variables`.
+
+        The solver is consumed by this process (blocking clauses are
+        permanent).  `variables` defaults to all variables.
+        """
+        if variables is None:
+            variables = list(range(1, self._num_vars + 1))
+        count = 0
+        while count < limit and self.solve():
+            model = [v if self.model_value(v) else -v for v in variables]
+            yield model
+            if not self.add_clause([-lit for lit in model]):
+                return
+            count += 1
+
+    # ------------------------------------------------------------------
+    # Encoding helpers
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _internal(lit: int) -> int:
+        v = abs(lit)
+        return 2 * v + (1 if lit < 0 else 0)
+
+    @staticmethod
+    def _external(ilit: int) -> int:
+        v = ilit >> 1
+        return -v if ilit & 1 else v
+
+    def _lit_value(self, ilit: int) -> int:
+        val = self._value[ilit >> 1]
+        if val == _UNASSIGNED:
+            return _UNASSIGNED
+        return val ^ (ilit & 1)
+
+    # ------------------------------------------------------------------
+    # Watched literals and propagation
+    # ------------------------------------------------------------------
+
+    def _watch_list(self, ilit: int) -> List[_Clause]:
+        v = ilit >> 1
+        return self._watches[2 * (v - 1) + (ilit & 1)]
+
+    def _attach(self, clause: _Clause) -> None:
+        self._watch_list(clause.lits[0]).append(clause)
+        self._watch_list(clause.lits[1]).append(clause)
+
+    def _detach(self, clause: _Clause) -> None:
+        for ilit in clause.lits[:2]:
+            watchers = self._watch_list(ilit)
+            try:
+                watchers.remove(clause)
+            except ValueError:
+                pass
+
+    def _enqueue(self, ilit: int, reason: Optional[_Clause]) -> bool:
+        val = self._lit_value(ilit)
+        if val != _UNASSIGNED:
+            return val == _TRUE
+        v = ilit >> 1
+        self._value[v] = _TRUE if (ilit & 1) == 0 else _FALSE
+        self._level[v] = len(self._trail_lim)
+        self._reason[v] = reason
+        self._trail.append(ilit)
+        return True
+
+    def _propagate(self) -> Optional[_Clause]:
+        """Unit propagation; returns a conflicting clause or None."""
+        while self._qhead < len(self._trail):
+            ilit = self._trail[self._qhead]
+            self._qhead += 1
+            self._propagations += 1
+            false_lit = ilit ^ 1
+            watchers = self._watch_list(false_lit)
+            i = 0
+            j = 0
+            n = len(watchers)
+            while i < n:
+                clause = watchers[i]
+                i += 1
+                lits = clause.lits
+                if lits[0] == false_lit:
+                    lits[0], lits[1] = lits[1], lits[0]
+                first = lits[0]
+                if self._lit_value(first) == _TRUE:
+                    watchers[j] = clause
+                    j += 1
+                    continue
+                found = False
+                for k in range(2, len(lits)):
+                    if self._lit_value(lits[k]) != _FALSE:
+                        lits[1], lits[k] = lits[k], lits[1]
+                        self._watch_list(lits[1]).append(clause)
+                        found = True
+                        break
+                if found:
+                    continue
+                watchers[j] = clause
+                j += 1
+                if self._lit_value(first) == _FALSE:
+                    # Conflict: keep the remaining watchers and report.
+                    while i < n:
+                        watchers[j] = watchers[i]
+                        j += 1
+                        i += 1
+                    del watchers[j:]
+                    self._qhead = len(self._trail)
+                    return clause
+                self._enqueue(first, clause)
+            del watchers[j:]
+        return None
+
+    # ------------------------------------------------------------------
+    # Conflict analysis
+    # ------------------------------------------------------------------
+
+    def _analyze(self, conflict: _Clause) -> tuple[List[int], int]:
+        """First-UIP analysis; returns (learned clause, backtrack level).
+
+        The asserting literal is placed at index 0 of the result and a
+        literal from the backtrack level (if any) at index 1, so the
+        clause can be attached with correct watches immediately.
+        """
+        learned: List[int] = []
+        seen = self._seen
+        counter = 0
+        asserting = -1
+        reason: Optional[_Clause] = conflict
+        index = len(self._trail) - 1
+        current_level = len(self._trail_lim)
+        while True:
+            assert reason is not None
+            self._bump_clause(reason)
+            for q in reason.lits:
+                if q == asserting:
+                    continue
+                v = q >> 1
+                if not seen[v] and self._level[v] > 0:
+                    seen[v] = True
+                    self._bump_var(v)
+                    if self._level[v] >= current_level:
+                        counter += 1
+                    else:
+                        learned.append(q)
+            while not seen[self._trail[index] >> 1]:
+                index -= 1
+            asserting = self._trail[index]
+            index -= 1
+            seen[asserting >> 1] = False
+            counter -= 1
+            if counter == 0:
+                break
+            reason = self._reason[asserting >> 1]
+        # Learned-clause minimization: drop literals implied by the rest.
+        abstract_levels = 0
+        for q in learned:
+            abstract_levels |= 1 << (self._level[q >> 1] & 31)
+        kept = [
+            q
+            for q in learned
+            if self._reason[q >> 1] is None
+            or not self._redundant(q, abstract_levels)
+        ]
+        for q in learned:
+            seen[q >> 1] = False
+        result = [asserting ^ 1] + kept
+        if len(result) == 1:
+            return result, 0
+        max_i = 1
+        for i in range(2, len(result)):
+            if self._level[result[i] >> 1] > self._level[result[max_i] >> 1]:
+                max_i = i
+        result[1], result[max_i] = result[max_i], result[1]
+        return result, self._level[result[1] >> 1]
+
+    def _redundant(self, ilit: int, abstract_levels: int) -> bool:
+        """Check whether a learned literal is implied by the others.
+
+        Literals already marked in ``self._seen`` are the other learned
+        literals; a literal is redundant if its reason-graph ancestry
+        bottoms out in such literals.
+        """
+        stack = [ilit]
+        marked: List[int] = []
+        seen = self._seen
+        while stack:
+            p = stack.pop()
+            reason = self._reason[p >> 1]
+            assert reason is not None
+            for q in reason.lits:
+                v = q >> 1
+                if q == p or seen[v] or self._level[v] == 0:
+                    continue
+                if (
+                    self._reason[v] is None
+                    or not (1 << (self._level[v] & 31)) & abstract_levels
+                ):
+                    for w in marked:
+                        seen[w] = False
+                    return False
+                seen[v] = True
+                marked.append(v)
+                stack.append(q)
+        for w in marked:
+            seen[w] = False
+        return True
+
+    # ------------------------------------------------------------------
+    # Activities
+    # ------------------------------------------------------------------
+
+    def _bump_var(self, v: int) -> None:
+        self._activity[v] += self._var_inc
+        heapq.heappush(self._order, (-self._activity[v], v))
+        if self._activity[v] > 1e100:
+            for i in range(1, self._num_vars + 1):
+                self._activity[i] *= 1e-100
+            self._var_inc *= 1e-100
+            self._order = [
+                (-self._activity[v2], v2)
+                for v2 in range(1, self._num_vars + 1)
+            ]
+            heapq.heapify(self._order)
+
+    def _bump_clause(self, clause: _Clause) -> None:
+        if not clause.learned:
+            return
+        clause.activity += self._cla_inc
+        if clause.activity > 1e20:
+            for c in self._learned:
+                c.activity *= 1e-20
+            self._cla_inc *= 1e-20
+
+    def _decay(self) -> None:
+        self._var_inc *= self._var_decay
+        self._cla_inc *= self._cla_decay
+
+    def _decide(self) -> int:
+        """Pop the unassigned variable with the highest activity."""
+        while self._order:
+            neg_act, v = heapq.heappop(self._order)
+            if self._value[v] == _UNASSIGNED and -neg_act == self._activity[v]:
+                # Push back so the variable re-enters the queue after
+                # backtracking (stale entries are filtered above).
+                heapq.heappush(self._order, (neg_act, v))
+                return v
+            if self._value[v] == _UNASSIGNED:
+                heapq.heappush(self._order, (-self._activity[v], v))
+        # Heap exhausted or only stale entries: linear fallback.
+        for v in range(1, self._num_vars + 1):
+            if self._value[v] == _UNASSIGNED:
+                return v
+        return 0
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+
+    def _cancel_until(self, level: int) -> None:
+        if len(self._trail_lim) <= level:
+            return
+        bound = self._trail_lim[level]
+        for ilit in reversed(self._trail[bound:]):
+            v = ilit >> 1
+            self._phase[v] = (ilit & 1) == 0
+            self._value[v] = _UNASSIGNED
+            self._reason[v] = None
+            heapq.heappush(self._order, (-self._activity[v], v))
+        del self._trail[bound:]
+        del self._trail_lim[level:]
+        self._qhead = min(self._qhead, len(self._trail))
+        self._num_assumed_levels = min(self._num_assumed_levels, level)
+
+    def _reduce_db(self) -> None:
+        self._learned.sort(key=lambda c: c.activity)
+        keep: List[_Clause] = []
+        drop = len(self._learned) // 2
+        for i, clause in enumerate(self._learned):
+            if i < drop and len(clause.lits) > 2 and not self._locked(clause):
+                self._detach(clause)
+            else:
+                keep.append(clause)
+        self._learned = keep
+
+    def _locked(self, clause: _Clause) -> bool:
+        v = clause.lits[0] >> 1
+        return self._reason[v] is clause
+
+    def _search(self, budget: int, assumptions: List[int]) -> Optional[bool]:
+        """Run CDCL for up to `budget` conflicts.
+
+        Returns True (sat), False (unsat / assumption conflict), or None
+        when the conflict budget is exhausted (caller restarts).
+        """
+        conflicts_here = 0
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self._conflicts += 1
+                conflicts_here += 1
+                if not self._trail_lim:
+                    # Conflict with no decisions and no assumptions.
+                    self._ok = False
+                    return False
+                if len(self._trail_lim) <= self._num_assumed_levels:
+                    # The conflict only depends on assumptions.
+                    self._extract_failed(assumptions)
+                    return False
+                learned, bt_level = self._analyze(conflict)
+                bt_level = max(bt_level, self._num_assumed_levels)
+                if len(learned) == 1:
+                    self._cancel_until(0)
+                    self._next_assumption = 0
+                    if not self._enqueue(learned[0], None):
+                        self._ok = False
+                        return False
+                else:
+                    self._cancel_until(bt_level)
+                    clause = _Clause(learned, learned=True)
+                    self._learned.append(clause)
+                    self._attach(clause)
+                    self._bump_clause(clause)
+                    self._enqueue(learned[0], clause)
+                self._decay()
+                if len(self._learned) > self._max_learned:
+                    self._reduce_db()
+                    self._max_learned = int(self._max_learned * 1.3)
+                if conflicts_here >= budget:
+                    return None
+                continue
+            if self._next_assumption < len(assumptions):
+                ilit = assumptions[self._next_assumption]
+                self._next_assumption += 1
+                val = self._lit_value(ilit)
+                if val == _TRUE:
+                    continue
+                if val == _FALSE:
+                    self._extract_failed(assumptions)
+                    return False
+                self._trail_lim.append(len(self._trail))
+                self._num_assumed_levels = len(self._trail_lim)
+                self._enqueue(ilit, None)
+                continue
+            v = self._decide()
+            if v == 0:
+                self._model = list(self._value)
+                return True
+            self._decisions += 1
+            self._trail_lim.append(len(self._trail))
+            self._enqueue(2 * v + (0 if self._phase[v] else 1), None)
+
+    def _extract_failed(self, assumptions: List[int]) -> None:
+        self._failed_assumptions = [
+            self._external(a)
+            for a in assumptions
+            if self._lit_value(a) != _UNASSIGNED
+        ]

@@ -1,0 +1,15 @@
+"""Random workload generation for benchmarks (seeded, reproducible)."""
+
+from .generators import (
+    random_acl,
+    random_port_range,
+    random_prefix,
+    random_route_map,
+)
+
+__all__ = [
+    "random_acl",
+    "random_route_map",
+    "random_prefix",
+    "random_port_range",
+]

@@ -1,0 +1,83 @@
+"""Seeded random workload generators for the evaluation (§7).
+
+The paper "generated ACLs and route maps of different sizes randomly";
+these generators reproduce that setup deterministically so benchmark
+runs are comparable.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from ..network.acl import Acl, AclRule
+from ..network.ip import Prefix
+from ..network.routemap import PrefixRange, RouteMap, RouteMapClause
+
+
+def random_prefix(rng: random.Random, min_len: int = 8, max_len: int = 32) -> Prefix:
+    """A random IPv4 prefix with length in [min_len, max_len]."""
+    length = rng.randint(min_len, max_len)
+    address = rng.getrandbits(32)
+    return Prefix(address, length)
+
+
+def random_port_range(rng: random.Random) -> Optional[Tuple[int, int]]:
+    """A random port interval, or None (no port match) half the time."""
+    if rng.random() < 0.5:
+        return None
+    low = rng.randint(0, 65535)
+    high = rng.randint(low, 65535)
+    return (low, high)
+
+
+def random_acl(num_rules: int, seed: int = 0) -> Acl:
+    """A random ACL with `num_rules` lines plus a final catch-all.
+
+    The last line is a catch-all permit so the Figure-10 query ("find
+    a packet matching the last line") requires reasoning about every
+    preceding line.
+    """
+    rng = random.Random(seed)
+    rules: List[AclRule] = []
+    for _ in range(max(num_rules - 1, 0)):
+        rules.append(
+            AclRule(
+                action=rng.random() < 0.5,
+                src=random_prefix(rng),
+                dst=random_prefix(rng),
+                src_ports=random_port_range(rng),
+                dst_ports=random_port_range(rng),
+                protocol=rng.choice([None, 1, 6, 17]),
+            )
+        )
+    rules.append(AclRule(action=True))
+    return Acl.of(f"random-{seed}-{num_rules}", rules)
+
+
+def random_route_map(num_clauses: int, seed: int = 0) -> RouteMap:
+    """A random route map with `num_clauses` stanzas plus a catch-all."""
+    rng = random.Random(seed)
+    clauses: List[RouteMapClause] = []
+    for _ in range(max(num_clauses - 1, 0)):
+        prefix = random_prefix(rng, min_len=8, max_len=24)
+        ge = rng.randint(prefix.length, 32)
+        le = rng.randint(ge, 32)
+        clauses.append(
+            RouteMapClause(
+                action=rng.random() < 0.5,
+                match_prefixes=(PrefixRange(prefix, ge=ge, le=le),),
+                match_community=(
+                    rng.randint(1, 1 << 16) if rng.random() < 0.3 else None
+                ),
+                set_local_pref=(
+                    rng.randint(0, 400) if rng.random() < 0.5 else None
+                ),
+                set_med=rng.randint(0, 100) if rng.random() < 0.3 else None,
+                add_community=(
+                    rng.randint(1, 1 << 16) if rng.random() < 0.3 else None
+                ),
+            )
+        )
+    clauses.append(RouteMapClause(action=True))
+    return RouteMap.of(f"random-{seed}-{num_clauses}", clauses)

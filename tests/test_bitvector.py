@@ -1,0 +1,183 @@
+"""Exhaustive correctness tests for the bitvector circuit library.
+
+Every arithmetic/comparison/shift circuit is checked against Python
+integer semantics for all 4-bit operand pairs, on both Boolean
+engines.  This pins down the bitblaster the whole "SMT" backend rests
+on.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.backends import BddBackend, SatBackend
+from repro.backends import bitvector as bv
+
+WIDTH = 4
+ALL_VALUES = range(1 << WIDTH)
+
+
+def to_signed(value: int) -> int:
+    return value - (1 << WIDTH) if value >= (1 << (WIDTH - 1)) else value
+
+
+def eval_bits(backend, bits) -> int:
+    out = 0
+    for i, bit in enumerate(bits):
+        if backend.is_true(bit):
+            out |= 1 << i
+        else:
+            assert backend.is_false(bit), "constant inputs must fold"
+    return out
+
+
+def eval_bit(backend, bit) -> bool:
+    if backend.is_true(bit):
+        return True
+    assert backend.is_false(bit)
+    return False
+
+
+@pytest.fixture(params=["sat", "bdd"])
+def backend(request):
+    return SatBackend() if request.param == "sat" else BddBackend()
+
+
+class TestArithmetic:
+    def test_add_exhaustive(self, backend):
+        for a, b in itertools.product(ALL_VALUES, repeat=2):
+            va = bv.const_vector(backend, a, WIDTH)
+            vb = bv.const_vector(backend, b, WIDTH)
+            assert eval_bits(backend, bv.add(backend, va, vb)) == (a + b) % 16
+
+    def test_sub_exhaustive(self, backend):
+        for a, b in itertools.product(ALL_VALUES, repeat=2):
+            va = bv.const_vector(backend, a, WIDTH)
+            vb = bv.const_vector(backend, b, WIDTH)
+            assert eval_bits(backend, bv.sub(backend, va, vb)) == (a - b) % 16
+
+    def test_mul_exhaustive(self, backend):
+        for a, b in itertools.product(ALL_VALUES, repeat=2):
+            va = bv.const_vector(backend, a, WIDTH)
+            vb = bv.const_vector(backend, b, WIDTH)
+            assert eval_bits(backend, bv.mul(backend, va, vb)) == (a * b) % 16
+
+    def test_negate_exhaustive(self, backend):
+        for a in ALL_VALUES:
+            va = bv.const_vector(backend, a, WIDTH)
+            assert eval_bits(backend, bv.negate(backend, va)) == (-a) % 16
+
+
+class TestComparisons:
+    def test_equal_exhaustive(self, backend):
+        for a, b in itertools.product(ALL_VALUES, repeat=2):
+            va = bv.const_vector(backend, a, WIDTH)
+            vb = bv.const_vector(backend, b, WIDTH)
+            assert eval_bit(backend, bv.equal(backend, va, vb)) == (a == b)
+
+    def test_unsigned_less_exhaustive(self, backend):
+        for a, b in itertools.product(ALL_VALUES, repeat=2):
+            va = bv.const_vector(backend, a, WIDTH)
+            vb = bv.const_vector(backend, b, WIDTH)
+            assert eval_bit(
+                backend, bv.less(backend, va, vb, signed=False)
+            ) == (a < b)
+
+    def test_signed_less_exhaustive(self, backend):
+        for a, b in itertools.product(ALL_VALUES, repeat=2):
+            va = bv.const_vector(backend, a, WIDTH)
+            vb = bv.const_vector(backend, b, WIDTH)
+            assert eval_bit(
+                backend, bv.less(backend, va, vb, signed=True)
+            ) == (to_signed(a) < to_signed(b))
+
+    def test_less_equal_exhaustive(self, backend):
+        for a, b in itertools.product(ALL_VALUES, repeat=2):
+            va = bv.const_vector(backend, a, WIDTH)
+            vb = bv.const_vector(backend, b, WIDTH)
+            assert eval_bit(
+                backend, bv.less_equal(backend, va, vb, signed=False)
+            ) == (a <= b)
+
+
+class TestShifts:
+    def test_shift_left_const(self, backend):
+        for a, amount in itertools.product(ALL_VALUES, range(WIDTH + 2)):
+            va = bv.const_vector(backend, a, WIDTH)
+            result = eval_bits(
+                backend, bv.shift_left_const(backend, va, amount)
+            )
+            assert result == (a << amount) % 16
+
+    def test_shift_right_const_logical(self, backend):
+        for a, amount in itertools.product(ALL_VALUES, range(WIDTH + 2)):
+            va = bv.const_vector(backend, a, WIDTH)
+            result = eval_bits(
+                backend,
+                bv.shift_right_const(backend, va, amount, arithmetic=False),
+            )
+            assert result == a >> amount
+
+    def test_shift_right_const_arithmetic(self, backend):
+        for a, amount in itertools.product(ALL_VALUES, range(WIDTH + 2)):
+            va = bv.const_vector(backend, a, WIDTH)
+            result = eval_bits(
+                backend,
+                bv.shift_right_const(backend, va, amount, arithmetic=True),
+            )
+            expected = (to_signed(a) >> amount) % 16
+            assert result == expected
+
+    def test_barrel_shift_left_exhaustive(self, backend):
+        for a, amount in itertools.product(ALL_VALUES, repeat=2):
+            va = bv.const_vector(backend, a, WIDTH)
+            vs = bv.const_vector(backend, amount, WIDTH)
+            result = eval_bits(backend, bv.shift_left(backend, va, vs))
+            assert result == (a << amount) % 16 if amount < 16 else 0
+
+    def test_barrel_shift_right_exhaustive(self, backend):
+        for a, amount in itertools.product(ALL_VALUES, repeat=2):
+            va = bv.const_vector(backend, a, WIDTH)
+            vs = bv.const_vector(backend, amount, WIDTH)
+            logical = eval_bits(
+                backend, bv.shift_right(backend, va, vs, arithmetic=False)
+            )
+            assert logical == (a >> amount if amount < WIDTH else 0)
+            arith = eval_bits(
+                backend, bv.shift_right(backend, va, vs, arithmetic=True)
+            )
+            expected = (
+                to_signed(a) >> min(amount, WIDTH)
+            ) % 16
+            assert arith == expected
+
+
+class TestBitwise:
+    def test_pointwise_ops(self, backend):
+        for a, b in itertools.product(ALL_VALUES, repeat=2):
+            va = bv.const_vector(backend, a, WIDTH)
+            vb = bv.const_vector(backend, b, WIDTH)
+            assert eval_bits(backend, bv.bitwise_and(backend, va, vb)) == a & b
+            assert eval_bits(backend, bv.bitwise_or(backend, va, vb)) == a | b
+            assert eval_bits(backend, bv.bitwise_xor(backend, va, vb)) == a ^ b
+            assert eval_bits(backend, bv.bitwise_not(backend, va)) == a ^ 15
+
+
+class TestConversions:
+    def test_to_int_unsigned(self):
+        assert bv.to_int([True, False, True], signed=False) == 5
+
+    def test_to_int_signed(self):
+        assert bv.to_int([True, True, True], signed=True) == -1
+        assert bv.to_int([False, True, True], signed=True) == -2
+        assert bv.to_int([True, True, False], signed=True) == 3
+
+    def test_to_int_empty(self):
+        assert bv.to_int([], signed=False) == 0
+
+    def test_const_vector_negative(self):
+        backend = SatBackend()
+        bits = bv.const_vector(backend, -1, 4)
+        assert eval_bits(backend, bits) == 15

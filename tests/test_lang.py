@@ -1,0 +1,289 @@
+"""Tests for the Zen language layer: types, expressions, embedding."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro import (
+    BOOL,
+    INT,
+    UINT,
+    Bool,
+    Byte,
+    Int,
+    UInt,
+    UShort,
+    Zen,
+    ZenTypeError,
+    ZList,
+    ZMap,
+    ZOption,
+    ZPair,
+    cons,
+    constant,
+    create,
+    empty_list,
+    if_,
+    lift,
+    none,
+    pair,
+    register_object,
+    some,
+    symbolic,
+    zen_list,
+)
+from repro.lang import types as ty
+from repro.lang import expr as ex
+
+
+@register_object
+@dataclass(frozen=True)
+class Point:
+    x: Int
+    y: Int
+
+
+@register_object
+@dataclass(frozen=True)
+class Box:
+    corner: Point
+    solid: Bool
+
+
+class TestTypes:
+    def test_int_type_names(self):
+        assert str(ty.BYTE) == "byte"
+        assert str(ty.UINT) == "uint"
+        assert str(ty.IntType(12, False)) == "u12"
+
+    def test_int_ranges(self):
+        assert ty.BYTE.min_value == 0
+        assert ty.BYTE.max_value == 255
+        assert ty.INT.min_value == -(2 ** 31)
+        assert ty.SHORT.max_value == 2 ** 15 - 1
+
+    def test_wrap(self):
+        assert ty.BYTE.wrap(256) == 0
+        assert ty.BYTE.wrap(-1) == 255
+        assert ty.INT.wrap(2 ** 31) == -(2 ** 31)
+
+    def test_check_rejects_out_of_range(self):
+        with pytest.raises(ZenTypeError):
+            ty.BYTE.check(300)
+        with pytest.raises(ZenTypeError):
+            ty.BYTE.check(True)  # bools are not ints here
+
+    def test_type_equality(self):
+        assert ty.IntType(8, False) == ty.BYTE
+        assert ty.ListType(ty.BYTE) == ty.ListType(ty.BYTE)
+        assert ty.ListType(ty.BYTE) != ty.ListType(ty.UINT)
+        assert ty.OptionType(ty.BOOL) != ty.ListType(ty.BOOL)
+
+    def test_from_annotation(self):
+        assert ty.from_annotation(bool) == ty.BOOL
+        assert ty.from_annotation(UInt) == ty.UINT
+        assert ty.from_annotation(ZList[Int]) == ty.ListType(ty.INT)
+        assert ty.from_annotation(ZOption[Bool]) == ty.OptionType(ty.BOOL)
+        assert ty.from_annotation(ZPair[Int, Bool]) == ty.TupleType(
+            [ty.INT, ty.BOOL]
+        )
+        assert ty.from_annotation(ZMap[UInt, Bool]) == ty.MapType(
+            ty.UINT, ty.BOOL
+        )
+        assert isinstance(ty.from_annotation(Point), ty.ObjectType)
+
+    def test_bare_int_rejected(self):
+        with pytest.raises(ZenTypeError):
+            ty.from_annotation(int)
+
+    def test_unregistered_class_rejected(self):
+        class NotRegistered:
+            pass
+
+        with pytest.raises(ZenTypeError):
+            ty.from_annotation(NotRegistered)
+
+    def test_register_requires_dataclass(self):
+        class Plain:
+            x: Int
+
+        with pytest.raises(ZenTypeError):
+            register_object(Plain)
+
+    def test_default_values(self):
+        assert ty.default_value(ty.BOOL) is False
+        assert ty.default_value(ty.UINT) == 0
+        assert ty.default_value(ty.ListType(ty.BOOL)) == []
+        assert ty.default_value(ty.OptionType(ty.BOOL)) is None
+        point = ty.default_value(ty.from_annotation(Point))
+        assert point == Point(x=0, y=0)
+
+    def test_nested_object_registration(self):
+        box_type = ty.from_annotation(Box)
+        assert box_type.field_type("corner") == ty.from_annotation(Point)
+        assert box_type.field_type("solid") == ty.BOOL
+
+    def test_field_type_unknown(self):
+        box_type = ty.from_annotation(Box)
+        with pytest.raises(ZenTypeError):
+            box_type.field_type("nope")
+
+    def test_check_value_structured(self):
+        t = ty.ListType(ty.TupleType([ty.BYTE, ty.BOOL]))
+        assert ty.check_value(t, [(1, True)]) == [(1, True)]
+        with pytest.raises(ZenTypeError):
+            ty.check_value(t, [(300, True)])
+
+
+class TestBuilderOperators:
+    def test_constant_requires_type(self):
+        with pytest.raises(ZenTypeError):
+            lift(5)
+
+    def test_bool_lift(self):
+        z = lift(True)
+        assert z.type == ty.BOOL
+
+    def test_arith_type_propagation(self):
+        a = symbolic(UInt)
+        b = a + 1
+        assert b.type == ty.UINT
+        assert isinstance(b.expr, ex.Binary)
+
+    def test_reverse_operators(self):
+        a = symbolic(UInt)
+        assert (1 + a).type == ty.UINT
+        assert (10 - a).type == ty.UINT
+        assert (2 * a).type == ty.UINT
+
+    def test_mixed_width_rejected(self):
+        a = symbolic(UInt)
+        b = symbolic(Byte)
+        with pytest.raises(ZenTypeError):
+            _ = a + b
+
+    def test_comparisons_return_bool(self):
+        a = symbolic(Int)
+        assert (a < 3).type == ty.BOOL
+        assert (a == 3).type == ty.BOOL
+        assert (a >= 3).type == ty.BOOL
+
+    def test_ordering_on_bool_rejected(self):
+        a = symbolic(Bool)
+        with pytest.raises(ZenTypeError):
+            _ = a < True
+
+    def test_logical_ops_on_bool(self):
+        a, b = symbolic(Bool), symbolic(Bool)
+        assert (a & b).type == ty.BOOL
+        assert (a | b).type == ty.BOOL
+        assert (~a).type == ty.BOOL
+        assert a.implies(b).type == ty.BOOL
+
+    def test_bitwise_on_ints(self):
+        a = symbolic(UInt)
+        assert (a & 0xFF).type == ty.UINT
+        assert (a | 1).type == ty.UINT
+        assert (a ^ 3).type == ty.UINT
+        assert (~a).type == ty.UINT
+        assert (a << 2).type == ty.UINT
+        assert (a >> 2).type == ty.UINT
+
+    def test_python_bool_conversion_raises(self):
+        a = symbolic(Bool)
+        with pytest.raises(ZenTypeError):
+            if a:
+                pass
+        with pytest.raises(ZenTypeError):
+            bool(a)
+
+    def test_if_branch_type_mismatch(self):
+        with pytest.raises(ZenTypeError):
+            if_(lift(True), constant(1, UInt), constant(1, Byte))
+
+    def test_if_lifts_raw_branch(self):
+        z = if_(lift(True), constant(1, UInt), 0)
+        assert z.type == ty.UINT
+
+    def test_field_access(self):
+        p = symbolic(Point)
+        assert p.x.type == ty.INT
+        assert p.field("y").type == ty.INT
+        with pytest.raises(AttributeError):
+            _ = p.z
+
+    def test_with_field(self):
+        p = symbolic(Point)
+        q = p.with_field("x", 5)
+        assert q.type == p.type
+        r = p.with_fields(x=1, y=2)
+        assert r.type == p.type
+
+    def test_create(self):
+        p = create(Point, x=constant(1, Int), y=2)
+        assert p.type == ty.from_annotation(Point)
+
+    def test_create_missing_field(self):
+        with pytest.raises(TypeError):
+            ex.Create(ty.from_annotation(Point), {"x": constant(1, Int).expr})
+
+    def test_tuple_ops(self):
+        t = pair(constant(1, Int), lift(True))
+        assert t.type == ty.TupleType([ty.INT, ty.BOOL])
+        assert t[0].type == ty.INT
+        assert t[1].type == ty.BOOL
+        with pytest.raises(ZenTypeError):
+            _ = t[5]
+
+    def test_option_ops(self):
+        o = some(constant(4, Byte))
+        assert o.type == ty.OptionType(ty.BYTE)
+        assert o.has_value().type == ty.BOOL
+        assert o.value().type == ty.BYTE
+        n = none(Byte)
+        assert n.type == o.type
+        assert o.value_or(9).type == ty.BYTE
+
+    def test_list_ops(self):
+        lst = zen_list(Byte, [1, 2, 3])
+        assert lst.type == ty.ListType(ty.BYTE)
+        extended = cons(constant(0, Byte), lst)
+        assert extended.type == lst.type
+        empty = empty_list(Byte)
+        assert empty.type == lst.type
+
+    def test_cons_type_mismatch(self):
+        lst = zen_list(Byte, [1])
+        with pytest.raises(ZenTypeError):
+            cons(constant(1, UInt), lst)
+
+    def test_case_types(self):
+        lst = zen_list(Byte, [1])
+        z = lst.case(
+            empty=lambda: lift(False),
+            cons=lambda hd, tl: lift(True),
+        )
+        assert z.type == ty.BOOL
+
+    def test_case_on_non_list(self):
+        with pytest.raises(ZenTypeError):
+            lift(True).case(empty=lambda: lift(False), cons=lambda h, t: h)
+
+    def test_adapt_map(self):
+        m = constant({1: True}, ZMap[Byte, Bool])
+        backing = m.adapt(ZList[ZPair[Byte, Bool]])
+        assert backing.type == ty.ListType(ty.TupleType([ty.BYTE, ty.BOOL]))
+        with pytest.raises(ZenTypeError):
+            m.adapt(ZList[Bool])
+
+    def test_zen_repr_and_hash(self):
+        a = symbolic(Bool)
+        assert "Zen<bool>" in repr(a)
+        assert isinstance(hash(a), int)
+
+    def test_constant_type_mismatch_on_zen(self):
+        a = symbolic(UInt)
+        with pytest.raises(ZenTypeError):
+            constant(a, Byte)

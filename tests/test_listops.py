@@ -1,0 +1,150 @@
+"""Property-based tests for the Zen list combinators.
+
+Each combinator is compared against the obvious Python reference on
+random concrete lists, exercising the host-language recursion scheme
+(case peeling) that all list processing in Zen is built on.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Byte, UShort, ZenFunction, ZList, constant, symbolic
+from repro.backends import ConcreteEvaluator
+from repro.lang.listops import (
+    all_match,
+    any_match,
+    contains,
+    find_first,
+    fold,
+    head_option,
+    is_empty,
+    length,
+    map_elements,
+)
+
+BYTES = st.lists(st.integers(0, 255), max_size=6)
+
+
+def run(z, **env):
+    return ConcreteEvaluator(env).evaluate(z.expr)
+
+
+@settings(max_examples=60, deadline=None)
+@given(BYTES)
+def test_length_matches(items):
+    lst = symbolic(ZList[Byte], "l")
+    assert run(length(lst), l=items) == len(items)
+
+
+@settings(max_examples=60, deadline=None)
+@given(BYTES, st.integers(0, 255))
+def test_contains_matches(items, needle):
+    lst = symbolic(ZList[Byte], "l")
+    z = contains(lst, constant(needle, Byte))
+    assert run(z, l=items) == (needle in items)
+
+
+@settings(max_examples=60, deadline=None)
+@given(BYTES)
+def test_is_empty_matches(items):
+    lst = symbolic(ZList[Byte], "l")
+    assert run(is_empty(lst), l=items) == (len(items) == 0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(BYTES)
+def test_fold_sum_matches(items):
+    lst = symbolic(ZList[Byte], "l")
+    total = fold(lst, constant(0, Byte), lambda h, acc: h + acc)
+    assert run(total, l=items) == sum(items) % 256
+
+
+@settings(max_examples=60, deadline=None)
+@given(BYTES, st.integers(0, 255))
+def test_any_all_match(items, pivot):
+    lst = symbolic(ZList[Byte], "l")
+    any_z = any_match(lst, lambda x: x > pivot)
+    all_z = all_match(lst, lambda x: x > pivot)
+    assert run(any_z, l=items) == any(x > pivot for x in items)
+    assert run(all_z, l=items) == all(x > pivot for x in items)
+
+
+@settings(max_examples=60, deadline=None)
+@given(BYTES)
+def test_head_option_matches(items):
+    lst = symbolic(ZList[Byte], "l")
+    expected = items[0] if items else None
+    assert run(head_option(lst), l=items) == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(BYTES, st.integers(0, 255))
+def test_find_first_matches(items, pivot):
+    lst = symbolic(ZList[Byte], "l")
+    z = find_first(lst, lambda x: x >= pivot)
+    expected = next((x for x in items if x >= pivot), None)
+    assert run(z, l=items) == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(BYTES)
+def test_map_elements_matches(items):
+    lst = symbolic(ZList[Byte], "l")
+    z = map_elements(lst, lambda x: (x * 2) + 1)
+    assert run(z, l=items) == [(x * 2 + 1) % 256 for x in items]
+
+
+@settings(max_examples=30, deadline=None)
+@given(BYTES)
+def test_map_then_fold_compose(items):
+    lst = symbolic(ZList[Byte], "l")
+    z = fold(
+        map_elements(lst, lambda x: x ^ 0xFF),
+        constant(0, Byte),
+        lambda h, acc: h + acc,
+    )
+    expected = sum((x ^ 0xFF) for x in items) % 256
+    assert run(z, l=items) == expected
+
+
+class TestSymbolicListInvariants:
+    """Find-level invariants about bounded symbolic lists."""
+
+    @pytest.mark.parametrize("backend", ["sat", "bdd"])
+    def test_length_bounded_by_max(self, backend):
+        f = ZenFunction(lambda lst: length(lst) >= 4, [ZList[Byte]])
+        assert f.find(backend=backend, max_list_length=3) is None
+        found = f.find(backend=backend, max_list_length=4)
+        assert found is not None and len(found) >= 4
+
+    @pytest.mark.parametrize("backend", ["sat", "bdd"])
+    def test_contains_implies_length_positive(self, backend):
+        f = ZenFunction(
+            lambda lst: contains(lst, constant(5, Byte))
+            & (length(lst) == 0),
+            [ZList[Byte]],
+        )
+        assert f.find(backend=backend, max_list_length=3) is None
+
+    @pytest.mark.parametrize("backend", ["sat", "bdd"])
+    def test_all_and_negated_any_consistent(self, backend):
+        f = ZenFunction(
+            lambda lst: all_match(lst, lambda x: x > 7)
+            & any_match(lst, lambda x: x <= 7),
+            [ZList[Byte]],
+        )
+        assert f.find(backend=backend, max_list_length=3) is None
+
+    def test_find_decodes_exact_list(self):
+        f = ZenFunction(
+            lambda lst: (length(lst, UShort) == 2)
+            & contains(lst, constant(9, Byte)),
+            [ZList[Byte]],
+        )
+        found = f.find(max_list_length=3)
+        assert found is not None
+        assert len(found) == 2 and 9 in found
+        assert f.evaluate(found)

@@ -1,0 +1,528 @@
+"""Tests for the network models: IP utilities, ACLs, forwarding,
+tunnels, route maps, device composition and simulation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import ZenFunction, ZenTypeError
+from repro.network import (
+    DENY,
+    NULL_PORT,
+    PERMIT,
+    Acl,
+    AclRule,
+    FwdRule,
+    FwdTable,
+    GreTunnel,
+    Header,
+    Network,
+    Packet,
+    Prefix,
+    PrefixRange,
+    Route,
+    RouteMap,
+    RouteMapClause,
+    acl_allows,
+    acl_match_line,
+    apply_route_map,
+    decap,
+    encap,
+    forward,
+    fwd_in,
+    fwd_out,
+    int_to_ip,
+    ip_to_int,
+    make_header,
+    make_packet,
+    prefix_mask,
+    route_map_match_line,
+    simulate,
+)
+from repro.network.overlay import VA_IP, VB_IP, build_virtual_network
+from repro.network.packet import PROTO_GRE, PROTO_TCP, PROTO_UDP
+
+
+class TestIp:
+    def test_parse_format_roundtrip(self):
+        for text in ("0.0.0.0", "255.255.255.255", "10.1.2.3"):
+            assert int_to_ip(ip_to_int(text)) == text
+
+    def test_parse_rejects_malformed(self):
+        for bad in ("1.2.3", "1.2.3.4.5", "256.0.0.1", "a.b.c.d"):
+            with pytest.raises(Exception):
+                ip_to_int(bad)
+
+    def test_prefix_mask(self):
+        assert prefix_mask(0) == 0
+        assert prefix_mask(8) == 0xFF000000
+        assert prefix_mask(32) == 0xFFFFFFFF
+        with pytest.raises(ZenTypeError):
+            prefix_mask(33)
+
+    def test_prefix_canonicalizes(self):
+        p = Prefix(ip_to_int("10.1.2.3"), 8)
+        assert int_to_ip(p.address) == "10.0.0.0"
+
+    def test_prefix_parse(self):
+        p = Prefix.parse("192.168.1.0/24")
+        assert p.length == 24
+        assert p.contains(ip_to_int("192.168.1.77"))
+        assert not p.contains(ip_to_int("192.168.2.1"))
+        host = Prefix.parse("1.2.3.4")
+        assert host.length == 32
+
+    def test_prefix_range(self):
+        p = Prefix.parse("10.0.0.0/30")
+        low, high = p.range()
+        assert high - low == 3
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(0, 2 ** 32 - 1), st.integers(0, 32))
+    def test_prefix_contains_matches_mask_math(self, ip, length):
+        p = Prefix(ip, length)
+        assert p.contains(ip)
+
+
+@pytest.fixture
+def small_acl():
+    return Acl.of(
+        "small",
+        [
+            AclRule(
+                DENY,
+                dst=Prefix.parse("10.0.1.0/24"),
+                protocol=PROTO_TCP,
+            ),
+            AclRule(PERMIT, dst=Prefix.parse("10.0.0.0/16")),
+            AclRule(
+                PERMIT,
+                dst_ports=(80, 443),
+                src_ports=(1024, 65535),
+            ),
+            AclRule(DENY),
+        ],
+    )
+
+
+class TestAcl:
+    def test_first_match_wins(self, small_acl):
+        f = ZenFunction(lambda h: acl_allows(small_acl, h), [Header])
+        denied = make_header(dst_ip=ip_to_int("10.0.1.5"), protocol=PROTO_TCP)
+        assert f.evaluate(denied) is False
+        permitted = make_header(
+            dst_ip=ip_to_int("10.0.1.5"), protocol=PROTO_UDP
+        )
+        assert f.evaluate(permitted) is True  # rule 2 (no proto match)
+
+    def test_port_ranges(self, small_acl):
+        f = ZenFunction(lambda h: acl_allows(small_acl, h), [Header])
+        ok = make_header(dst_ip=ip_to_int("50.0.0.1"), dst_port=80, src_port=5000)
+        assert f.evaluate(ok) is True
+        bad_src = make_header(dst_ip=ip_to_int("50.0.0.1"), dst_port=80, src_port=80)
+        assert f.evaluate(bad_src) is False
+
+    def test_implicit_deny(self, small_acl):
+        f = ZenFunction(lambda h: acl_allows(small_acl, h), [Header])
+        assert f.evaluate(make_header(dst_ip=ip_to_int("99.9.9.9"))) is False
+
+    def test_empty_acl_denies_everything(self):
+        acl = Acl.of("empty", [])
+        f = ZenFunction(lambda h: acl_allows(acl, h), [Header])
+        assert f.evaluate(make_header()) is False
+
+    def test_match_line(self, small_acl):
+        f = ZenFunction(lambda h: acl_match_line(small_acl, h), [Header])
+        assert f.evaluate(
+            make_header(dst_ip=ip_to_int("10.0.1.5"), protocol=PROTO_TCP)
+        ) == 1
+        # The catch-all deny is line 4; only empty ACLs report 0.
+        assert f.evaluate(make_header(dst_ip=ip_to_int("99.9.9.9"))) == 4
+        empty = Acl.of("none", [])
+        g = ZenFunction(lambda h: acl_match_line(empty, h), [Header])
+        assert g.evaluate(make_header()) == 0
+
+    @pytest.mark.parametrize("backend", ["sat", "bdd"])
+    def test_every_line_reachable(self, small_acl, backend):
+        f = ZenFunction(lambda h: acl_match_line(small_acl, h), [Header])
+        for line in range(1, len(small_acl.rules) + 1):
+            witness = f.find(
+                lambda h, r, line=line: r == line, backend=backend
+            )
+            assert witness is not None
+            assert f.evaluate(witness) == line
+
+    def test_dead_rule_detected(self):
+        acl = Acl.of(
+            "shadowed",
+            [
+                AclRule(PERMIT, dst=Prefix.parse("10.0.0.0/8")),
+                AclRule(DENY, dst=Prefix.parse("10.1.0.0/16")),  # dead
+                AclRule(PERMIT),
+            ],
+        )
+        f = ZenFunction(lambda h: acl_match_line(acl, h), [Header])
+        assert f.find(lambda h, r: r == 2) is None
+
+
+class TestFib:
+    def test_longest_prefix_wins(self):
+        table = FwdTable.of(
+            [
+                FwdRule(Prefix.parse("10.0.0.0/8"), 1),
+                FwdRule(Prefix.parse("10.1.0.0/16"), 2),
+                FwdRule(Prefix.parse("0.0.0.0/0"), 3),
+            ]
+        )
+        f = ZenFunction(lambda h: forward(table, h), [Header])
+        assert f.evaluate(make_header(dst_ip=ip_to_int("10.1.2.3"))) == 2
+        assert f.evaluate(make_header(dst_ip=ip_to_int("10.2.2.3"))) == 1
+        assert f.evaluate(make_header(dst_ip=ip_to_int("99.9.9.9"))) == 3
+
+    def test_null_port_when_no_match(self):
+        table = FwdTable.of([FwdRule(Prefix.parse("10.0.0.0/8"), 1)])
+        f = ZenFunction(lambda h: forward(table, h), [Header])
+        assert f.evaluate(make_header(dst_ip=ip_to_int("11.0.0.1"))) == NULL_PORT
+
+    def test_unsorted_rules_rejected(self):
+        with pytest.raises(ZenTypeError):
+            FwdTable(
+                rules=(
+                    FwdRule(Prefix.parse("10.0.0.0/8"), 1),
+                    FwdRule(Prefix.parse("10.1.0.0/16"), 2),
+                )
+            )
+
+    @pytest.mark.parametrize("backend", ["sat", "bdd"])
+    def test_find_packet_for_port(self, backend):
+        table = FwdTable.of(
+            [
+                FwdRule(Prefix.parse("10.1.0.0/16"), 2),
+                FwdRule(Prefix.parse("10.0.0.0/8"), 1),
+            ]
+        )
+        f = ZenFunction(lambda h: forward(table, h), [Header])
+        witness = f.find(lambda h, port: port == 1, backend=backend)
+        assert witness is not None
+        assert f.evaluate(witness) == 1
+        # Port-1 packets must be in 10/8 but not 10.1/16.
+        assert (witness.dst_ip >> 24) == 10
+        assert (witness.dst_ip >> 16) != 0x0A01
+
+
+class TestGre:
+    def test_encap_adds_underlay(self):
+        tunnel = GreTunnel(src_ip=1, dst_ip=2)
+        f = ZenFunction(lambda p: encap(tunnel, p), [Packet])
+        pkt = make_packet(make_header(dst_ip=9, dst_port=80, src_port=7))
+        result = f.evaluate(pkt)
+        assert result.underlay_header is not None
+        assert result.underlay_header.dst_ip == 2
+        assert result.underlay_header.src_ip == 1
+        assert result.underlay_header.dst_port == 80
+        assert result.underlay_header.protocol == PROTO_GRE
+        assert result.overlay_header == pkt.overlay_header
+
+    def test_decap_strips_underlay(self):
+        tunnel = GreTunnel(src_ip=1, dst_ip=2)
+        f = ZenFunction(lambda p: decap(tunnel, p), [Packet])
+        inner = make_header(dst_ip=9)
+        pkt = make_packet(inner, make_header(dst_ip=2, protocol=PROTO_GRE))
+        result = f.evaluate(pkt)
+        assert result.underlay_header is None
+        assert result.overlay_header == inner
+
+    def test_no_tunnel_is_identity(self):
+        f = ZenFunction(lambda p: encap(None, p), [Packet])
+        pkt = make_packet(make_header(dst_ip=5))
+        assert f.evaluate(pkt) == pkt
+
+    def test_encap_then_decap_roundtrip(self):
+        tunnel = GreTunnel(src_ip=1, dst_ip=2)
+        f = ZenFunction(
+            lambda p: decap(tunnel, encap(tunnel, p)), [Packet]
+        )
+        pkt = make_packet(make_header(dst_ip=123, src_ip=321))
+        assert f.evaluate(pkt) == pkt
+
+    @pytest.mark.parametrize("backend", ["sat", "bdd"])
+    def test_encap_decap_identity_verified(self, backend):
+        """Symbolically verify decap(encap(p)) == p for overlay packets."""
+        tunnel = GreTunnel(src_ip=1, dst_ip=2)
+        f = ZenFunction(
+            lambda p: decap(tunnel, encap(tunnel, p)), [Packet]
+        )
+        cex = f.verify(
+            lambda p, out: p.underlay_header.has_value() | (out == p),
+            backend=backend,
+        )
+        assert cex is None
+
+
+class TestRouteMap:
+    @pytest.fixture
+    def route(self):
+        return Route(
+            prefix=ip_to_int("10.1.0.0"),
+            prefix_len=16,
+            local_pref=100,
+            med=0,
+            as_path=[65001],
+            communities=[100],
+        )
+
+    def test_deny_clause(self, route):
+        rm = RouteMap.of(
+            "m", [RouteMapClause(False, match_community=100)]
+        )
+        f = ZenFunction(lambda r: apply_route_map(rm, r), [Route])
+        assert f.evaluate(route) is None
+
+    def test_implicit_deny(self, route):
+        rm = RouteMap.of(
+            "m",
+            [
+                RouteMapClause(
+                    True,
+                    match_prefixes=(
+                        PrefixRange(Prefix.parse("192.168.0.0/16")),
+                    ),
+                )
+            ],
+        )
+        f = ZenFunction(lambda r: apply_route_map(rm, r), [Route])
+        assert f.evaluate(route) is None
+
+    def test_actions_applied(self, route):
+        rm = RouteMap.of(
+            "m",
+            [
+                RouteMapClause(
+                    True,
+                    match_community=100,
+                    set_local_pref=250,
+                    set_med=30,
+                    add_community=999,
+                    prepend_as=65000,
+                )
+            ],
+        )
+        f = ZenFunction(lambda r: apply_route_map(rm, r), [Route])
+        out = f.evaluate(route)
+        assert out.local_pref == 250
+        assert out.med == 30
+        assert out.communities == [999, 100]
+        assert out.as_path == [65000, 65001]
+
+    def test_prefix_range_ge_le(self, route):
+        rm = RouteMap.of(
+            "m",
+            [
+                RouteMapClause(
+                    True,
+                    match_prefixes=(
+                        PrefixRange(
+                            Prefix.parse("10.0.0.0/8"), ge=17, le=24
+                        ),
+                    ),
+                )
+            ],
+        )
+        f = ZenFunction(lambda r: apply_route_map(rm, r), [Route])
+        assert f.evaluate(route) is None  # /16 below ge=17
+
+    def test_match_line_tracking(self, route):
+        rm = RouteMap.of(
+            "m",
+            [
+                RouteMapClause(False, match_community=666),
+                RouteMapClause(True, match_community=100),
+            ],
+        )
+        f = ZenFunction(lambda r: route_map_match_line(rm, r), [Route])
+        assert f.evaluate(route) == 2
+
+    def test_prefix_range_validates(self):
+        with pytest.raises(ValueError):
+            PrefixRange(Prefix.parse("10.0.0.0/8"), ge=20, le=10)
+
+    @pytest.mark.parametrize("backend", ["sat", "bdd"])
+    def test_find_route_through_actions(self, backend):
+        rm = RouteMap.of(
+            "m",
+            [
+                RouteMapClause(False, match_community=666),
+                RouteMapClause(True, add_community=42, set_local_pref=77),
+            ],
+        )
+        f = ZenFunction(lambda r: apply_route_map(rm, r), [Route])
+        from repro.lang.listops import contains
+
+        witness = f.find(
+            lambda r, out: out.has_value()
+            & contains(out.value().communities, 42)
+            & (out.value().local_pref == 77),
+            backend=backend,
+            max_list_length=2,
+        )
+        assert witness is not None
+        out = f.evaluate(witness)
+        assert out is not None and 42 in out.communities
+
+
+class TestDeviceComposition:
+    def test_fwd_in_acl_drop(self):
+        net = Network()
+        acl = Acl.of("deny-all", [AclRule(DENY)])
+        dev = net.add_device("d", [("0.0.0.0/0", 1)])
+        intf = net.add_interface(dev, 1, acl_in=acl)
+        f = ZenFunction(lambda p: fwd_in(intf, p), [Packet])
+        assert f.evaluate(make_packet(make_header())) is None
+
+    def test_fwd_out_port_gating(self):
+        net = Network()
+        dev = net.add_device(
+            "d", [("10.0.0.0/8", 1), ("0.0.0.0/0", 2)]
+        )
+        i1 = net.add_interface(dev, 1)
+        i2 = net.add_interface(dev, 2)
+        pkt = make_packet(make_header(dst_ip=ip_to_int("10.9.9.9")))
+        f1 = ZenFunction(lambda p: fwd_out(i1, p), [Packet])
+        f2 = ZenFunction(lambda p: fwd_out(i2, p), [Packet])
+        assert f1.evaluate(pkt) is not None
+        assert f2.evaluate(pkt) is None
+
+    def test_underlay_header_drives_forwarding(self):
+        net = Network()
+        dev = net.add_device("d", [("10.0.0.0/8", 1), ("20.0.0.0/8", 2)])
+        i2 = net.add_interface(dev, 2)
+        pkt = make_packet(
+            make_header(dst_ip=ip_to_int("10.1.1.1")),
+            make_header(dst_ip=ip_to_int("20.1.1.1")),
+        )
+        f2 = ZenFunction(lambda p: fwd_out(i2, p), [Packet])
+        assert f2.evaluate(pkt) is not None  # underlay wins
+
+
+class TestSimulation:
+    def test_two_hop_delivery(self):
+        net = Network()
+        a = net.add_device("a", [("10.0.0.0/8", 2)])
+        b = net.add_device("b", [("10.0.0.0/8", 2)])
+        a1 = net.add_interface(a, 1)
+        a2 = net.add_interface(a, 2)
+        b1 = net.add_interface(b, 1)
+        b2 = net.add_interface(b, 2)
+        net.link(a2, b1)
+        trace = simulate(
+            net, a1, make_packet(make_header(dst_ip=ip_to_int("10.1.1.1")))
+        )
+        assert trace.outcome == "exited"
+        assert [h.interface_in for h in trace.hops] == ["a:1", "b:1"]
+
+    def test_no_route(self):
+        net = Network()
+        a = net.add_device("a", [("10.0.0.0/8", 2)])
+        a1 = net.add_interface(a, 1)
+        trace = simulate(
+            net, a1, make_packet(make_header(dst_ip=ip_to_int("99.1.1.1")))
+        )
+        assert trace.outcome == "no_route"
+
+    def test_forwarding_loop_detected(self):
+        net = Network()
+        a = net.add_device("a", [("10.0.0.0/8", 2)])
+        b = net.add_device("b", [("10.0.0.0/8", 1)])
+        a2 = net.add_interface(a, 2)
+        b1 = net.add_interface(b, 1)
+        net.link(a2, b1)
+        trace = simulate(
+            net, a2.neighbor or a2,
+            make_packet(make_header(dst_ip=ip_to_int("10.1.1.1"))),
+            max_hops=6,
+        )
+        assert trace.outcome == "loop"
+
+    def test_duplicate_device_rejected(self):
+        net = Network()
+        net.add_device("a")
+        with pytest.raises(ZenTypeError):
+            net.add_device("a")
+
+    def test_double_link_rejected(self):
+        net = Network()
+        a = net.add_device("a")
+        b = net.add_device("b")
+        a1 = net.add_interface(a, 1)
+        b1 = net.add_interface(b, 1)
+        net.link(a1, b1)
+        c1 = net.add_interface(net.add_device("c"), 1)
+        with pytest.raises(ZenTypeError):
+            net.link(a1, c1)
+
+
+class TestVirtualNetwork:
+    def test_clean_network_delivers(self):
+        vn = build_virtual_network(buggy_underlay_acl=False)
+        pkt = make_packet(
+            make_header(dst_ip=VB_IP, src_ip=VA_IP, dst_port=80)
+        )
+        trace = simulate(vn.network, vn.va_uplink, pkt)
+        assert trace.outcome == "exited"
+        # Tunnel is transparent: the delivered packet has no underlay.
+        assert trace.final_packet.underlay_header is None
+        assert trace.final_packet.overlay_header.dst_ip == VB_IP
+
+    def test_packet_is_encapsulated_in_transit(self):
+        vn = build_virtual_network(buggy_underlay_acl=False)
+        pkt = make_packet(make_header(dst_ip=VB_IP, src_ip=VA_IP))
+        trace = simulate(vn.network, vn.va_uplink, pkt)
+        mid_hop = trace.hops[1]  # at u2
+        assert mid_hop.packet.underlay_header is not None
+
+    def test_buggy_acl_drops_low_ports(self):
+        vn = build_virtual_network(buggy_underlay_acl=True)
+        low = make_packet(
+            make_header(dst_ip=VB_IP, src_ip=VA_IP, dst_port=80)
+        )
+        assert simulate(vn.network, vn.va_uplink, low).outcome == "dropped_in"
+        high = make_packet(
+            make_header(dst_ip=VB_IP, src_ip=VA_IP, dst_port=8080)
+        )
+        assert simulate(vn.network, vn.va_uplink, high).outcome == "exited"
+
+    @pytest.mark.parametrize("backend", ["sat"])
+    def test_composed_model_finds_cross_layer_bug(self, backend):
+        from repro.network import forward_along_path
+
+        vn = build_virtual_network(buggy_underlay_acl=True)
+        f = ZenFunction(
+            lambda p: forward_along_path(vn.path_va_to_vb, p), [Packet]
+        )
+        witness = f.find(
+            lambda p, out: (p.overlay_header.dst_ip == VB_IP)
+            & (p.overlay_header.src_ip == VA_IP)
+            & ~p.underlay_header.has_value()
+            & ~out.has_value(),
+            backend=backend,
+        )
+        assert witness is not None
+        assert witness.overlay_header.dst_port <= 1023
+
+    def test_fixed_network_verifies(self):
+        from repro.network import forward_along_path
+
+        vn = build_virtual_network(buggy_underlay_acl=False)
+        f = ZenFunction(
+            lambda p: forward_along_path(vn.path_va_to_vb, p), [Packet]
+        )
+        witness = f.find(
+            lambda p, out: (p.overlay_header.dst_ip == VB_IP)
+            & (p.overlay_header.src_ip == VA_IP)
+            & ~p.underlay_header.has_value()
+            & ~out.has_value(),
+            backend="sat",
+        )
+        assert witness is None

@@ -1,0 +1,148 @@
+"""Tests for the workload generators and the Batfish-style baseline."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import ZenFunction
+from repro.baselines import BatfishAclEncoder, find_packet_matching_last_line
+from repro.network import DENY, PERMIT, Acl, AclRule, Header, Prefix, acl_allows, acl_match_line
+from repro.workloads import random_acl, random_prefix, random_route_map
+
+
+class TestGenerators:
+    def test_acl_deterministic(self):
+        a = random_acl(20, seed=5)
+        b = random_acl(20, seed=5)
+        assert a.rules == b.rules
+
+    def test_acl_different_seeds_differ(self):
+        assert random_acl(20, seed=1).rules != random_acl(20, seed=2).rules
+
+    def test_acl_size_and_catchall(self):
+        acl = random_acl(30, seed=0)
+        assert len(acl.rules) == 30
+        last = acl.rules[-1]
+        assert last.action is PERMIT
+        assert last.src.length == 0 and last.dst.length == 0
+
+    def test_route_map_deterministic(self):
+        assert (
+            random_route_map(10, seed=3).clauses
+            == random_route_map(10, seed=3).clauses
+        )
+
+    def test_route_map_catchall(self):
+        rm = random_route_map(10, seed=0)
+        assert rm.clauses[-1].action is True
+        assert not rm.clauses[-1].match_prefixes
+
+    def test_random_prefix_bounds(self):
+        rng = random.Random(0)
+        for _ in range(100):
+            p = random_prefix(rng, min_len=8, max_len=24)
+            assert 8 <= p.length <= 24
+
+    def test_last_line_always_reachable(self):
+        """The generator's catch-all guarantees the Fig. 10 query is sat."""
+        for seed in range(3):
+            acl = random_acl(15, seed=seed)
+            f = ZenFunction(lambda h: acl_match_line(acl, h), [Header])
+            witness = f.find(lambda h, r: r == len(acl.rules))
+            assert witness is not None
+
+
+class TestBatfishBaseline:
+    def test_prefix_bdd_semantics(self):
+        enc = BatfishAclEncoder()
+        node = enc.prefix_bdd("dst_ip", 0x0A000000, 8)
+        env = {}
+        variables = enc.field_vars("dst_ip")
+        for i, var in enumerate(variables):
+            env[var] = bool((0x0A123456 >> (31 - i)) & 1)
+        assert enc.manager.evaluate(node, env)
+        env[variables[0]] = True  # flip the MSB out of 10.0.0.0/8
+        assert not enc.manager.evaluate(node, env)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(0, 65535),
+        st.integers(0, 65535),
+        st.integers(0, 65535),
+    )
+    def test_range_bdd_semantics(self, low, high, probe):
+        if low > high:
+            low, high = high, low
+        enc = BatfishAclEncoder()
+        node = enc.range_bdd("dst_port", low, high)
+        env = {}
+        for i, var in enumerate(enc.field_vars("dst_port")):
+            env[var] = bool((probe >> (15 - i)) & 1)
+        assert enc.manager.evaluate(node, env) == (low <= probe <= high)
+
+    def test_match_lines_partition(self):
+        acl = random_acl(10, seed=4)
+        enc = BatfishAclEncoder()
+        lines = enc.match_line_bdds(acl)
+        # First-match sets are pairwise disjoint.
+        for i in range(len(lines)):
+            for j in range(i + 1, len(lines)):
+                assert enc.manager.and_(lines[i], lines[j]) == 0
+
+    def test_find_last_line_agrees_with_zen(self):
+        for seed in (0, 1):
+            acl = random_acl(12, seed=seed)
+            header = find_packet_matching_last_line(acl)
+            assert header is not None
+            f = ZenFunction(lambda h: acl_match_line(acl, h), [Header])
+            assert f.evaluate(header) == len(acl.rules)
+
+    def test_dead_last_line_returns_none(self):
+        acl = Acl.of(
+            "dead-end",
+            [
+                AclRule(PERMIT),  # catch-all shadows everything after
+                AclRule(DENY, dst=Prefix.parse("10.0.0.0/8")),
+            ],
+        )
+        assert find_packet_matching_last_line(acl) is None
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 5), st.randoms())
+    def test_allowed_bdd_agrees_with_model(self, seed, rng):
+        acl = random_acl(8, seed=seed)
+        enc = BatfishAclEncoder()
+        allowed = enc.allowed_bdd(acl)
+        f = ZenFunction(lambda h: acl_allows(acl, h), [Header])
+        header = Header(
+            dst_ip=rng.getrandbits(32),
+            src_ip=rng.getrandbits(32),
+            dst_port=rng.getrandbits(16),
+            src_port=rng.getrandbits(16),
+            protocol=rng.getrandbits(8),
+        )
+        env = {}
+        for name, width in (
+            ("dst_ip", 32),
+            ("src_ip", 32),
+            ("dst_port", 16),
+            ("src_port", 16),
+            ("protocol", 8),
+        ):
+            value = getattr(header, name)
+            for i, var in enumerate(enc.field_vars(name)):
+                env[var] = bool((value >> (width - 1 - i)) & 1)
+        assert enc.manager.evaluate(allowed, env) == f.evaluate(header)
+
+    def test_decode_roundtrip(self):
+        enc = BatfishAclEncoder()
+        acl = random_acl(5, seed=9)
+        lines = enc.match_line_bdds(acl)
+        assignment = enc.manager.any_sat(lines[-1])
+        header = enc.decode(assignment)
+        f = ZenFunction(lambda h: acl_match_line(acl, h), [Header])
+        assert f.evaluate(header) == len(acl.rules)
