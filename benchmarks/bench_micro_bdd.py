@@ -1,0 +1,474 @@
+"""Microbenchmarks for the BDD kernels (perf trajectory tracking).
+
+Compares the dedicated kernels against the seed formulations they
+replaced:
+
+* ``apply_and``        — `and_(f, g)` kernel vs the seed's 3-operand
+  detour ``ite(f, g, FALSE)``;
+* ``commutative_cache``— `and_(b, a)` after `and_(a, b)` (one shared
+  cache entry) vs the seed's order-sensitive ``ite`` cache;
+* ``and_many``         — balanced-tree reduction vs a linear fold;
+* ``relational_product`` — the fused `and_exists(S, R, X)` vs
+  materializing the conjunction and quantifying it;
+* ``transformer_image``— end-to-end `transform_forward` on an ACL
+  model (the paper's transformer hot path), with the manager's
+  op-level stats attached.
+
+The manager's own `ite` now normalizes terminal-branch triples into
+the binary kernels, so ``ite(f, g, FALSE)`` is `and_(f, g)` down to
+the cache entry — the seed formulation no longer exists in the
+engine.  The baseline is therefore :class:`SeedIte`, a faithful
+replica of the seed kernel (iterative two-phase expansion over one
+order-sensitive 3-operand cache).
+
+Emits ``BENCH_micro_bdd.json`` so successive PRs can compare numbers.
+
+Usage:  PYTHONPATH=src python benchmarks/bench_micro_bdd.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import random
+import time
+from pathlib import Path
+
+from repro import ZenFunction
+from repro.bdd import FALSE, Bdd
+from repro.core.transformers import TransformerContext
+from repro.network import Header, acl_match_line
+from repro.workloads import random_acl
+
+SEED = 2020
+
+
+class SeedIte:
+    """Frozen replica of the seed manager's ``ite`` kernel.
+
+    The live engine now rewrites terminal-branch triples into the
+    binary apply kernels, so ``manager.ite(f, g, FALSE)`` and
+    ``manager.and_(f, g)`` execute identical code and share one cache
+    — useless as a baseline.  This is a faithful port of the kernel
+    the seed shipped (``git show <seed>:src/repro/bdd/manager.py``):
+    iterative two-phase expansion, one order-sensitive 3-operand
+    cache, inline unique-table insertion, no delegation and no
+    commutative key normalization.  It reads the live manager's node
+    arrays directly so both sides of a comparison share a unique
+    table.
+    """
+
+    def __init__(self, manager: Bdd) -> None:
+        self.manager = manager
+        self.cache: dict = {}
+
+    def clear_cache(self) -> None:
+        self.cache.clear()
+
+    def __call__(self, f: int, g: int, h: int) -> int:
+        manager = self.manager
+        levels = manager._level
+        lows = manager._low
+        highs = manager._high
+        unique = manager._unique
+        cache = self.cache
+        expand = [(f, g, h)]
+        phase = [0]
+        keys: list = [None]
+        results: list = []
+        while expand:
+            task = expand.pop()
+            ph = phase.pop()
+            key = keys.pop()
+            if ph == 1:
+                high = results.pop()
+                low = results.pop()
+                lv = task
+                if low == high:
+                    node = low
+                else:
+                    ukey = (lv, low, high)
+                    node = unique.get(ukey)
+                    if node is None:
+                        node = len(levels)
+                        levels.append(lv)
+                        lows.append(low)
+                        highs.append(high)
+                        unique[ukey] = node
+                cache[key] = node
+                results.append(node)
+                continue
+            tf, tg, th = task
+            if tf == 1:
+                results.append(tg)
+                continue
+            if tf == 0:
+                results.append(th)
+                continue
+            if tg == th:
+                results.append(tg)
+                continue
+            if tg == 1 and th == 0:
+                results.append(tf)
+                continue
+            ckey = (tf, tg, th)
+            cached = cache.get(ckey)
+            if cached is not None:
+                results.append(cached)
+                continue
+            lf, lg, lh = levels[tf], levels[tg], levels[th]
+            lv = lf if lf < lg else lg
+            if lh < lv:
+                lv = lh
+            f0, f1 = (lows[tf], highs[tf]) if lf == lv else (tf, tf)
+            g0, g1 = (lows[tg], highs[tg]) if lg == lv else (tg, tg)
+            h0, h1 = (lows[th], highs[th]) if lh == lv else (th, th)
+            expand.append(lv)
+            phase.append(1)
+            keys.append(ckey)
+            expand.append((f1, g1, h1))
+            phase.append(0)
+            keys.append(None)
+            expand.append((f0, g0, h0))
+            phase.append(0)
+            keys.append(None)
+        return results[-1]
+
+
+def best_of(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def random_formula(manager: Bdd, rng: random.Random, depth: int) -> int:
+    """A random formula over the manager's existing variables."""
+    if depth == 0:
+        index = rng.randrange(manager.num_vars)
+        return manager.var(index) if rng.random() < 0.5 else manager.nvar(index)
+    left = random_formula(manager, rng, depth - 1)
+    right = random_formula(manager, rng, depth - 1)
+    op = rng.randrange(3)
+    if op == 0:
+        return manager.and_(left, right)
+    if op == 1:
+        return manager.or_(left, right)
+    return manager.xor(left, right)
+
+
+def bench_apply_vs_ite(num_vars: int, pairs: int, repeats: int) -> dict:
+    """Dedicated and-kernel vs the seed's ``ite(f, g, FALSE)`` detour.
+
+    Both formulations run on one shared manager (same unique table,
+    caches cleared before every timed pass) so allocator warm-up does
+    not bias either side.  The seed side is the :class:`SeedIte`
+    replica — the live ``ite`` would just delegate to ``and_``.
+    """
+    manager = Bdd()
+    manager.new_vars(num_vars)
+    seed_ite = SeedIte(manager)
+    rng = random.Random(SEED)
+    operands = [
+        (random_formula(manager, rng, 4), random_formula(manager, rng, 4))
+        for _ in range(pairs)
+    ]
+    for f, g in operands:  # sanity: the replica agrees with the kernel
+        assert seed_ite(f, g, FALSE) == manager.and_(f, g)
+
+    def run(use_apply: bool) -> float:
+        def pass_() -> None:
+            manager.clear_cache()
+            seed_ite.clear_cache()
+            for f, g in operands:
+                if use_apply:
+                    manager.and_(f, g)
+                else:
+                    seed_ite(f, g, FALSE)
+
+        pass_()  # warm the unique table with the result nodes
+        return best_of(pass_, repeats)
+
+    return {
+        "name": "apply_and",
+        "vars": num_vars,
+        "pairs": pairs,
+        "apply_ms": run(True) * 1000,
+        "ite_ms": run(False) * 1000,
+    }
+
+
+def bench_commutative_cache(num_vars: int, pairs: int, repeats: int) -> dict:
+    """Reversed-operand re-query: apply cache hits, seed ite misses.
+
+    The apply kernels key caches on ``(min(f, g), max(f, g))``, so
+    ``and_(g, f)`` after ``and_(f, g)`` is one cache probe.  The seed
+    kernel's ``(f, g, h)`` key re-descends the whole reversed call.
+    """
+    manager = Bdd()
+    manager.new_vars(num_vars)
+    seed_ite = SeedIte(manager)
+    rng = random.Random(SEED)
+    operands = [
+        (random_formula(manager, rng, 5), random_formula(manager, rng, 5))
+        for _ in range(pairs)
+    ]
+
+    def forward_then_reversed(use_apply: bool) -> float:
+        def run() -> None:
+            manager.clear_cache()
+            seed_ite.clear_cache()
+            for f, g in operands:
+                if use_apply:
+                    manager.and_(f, g)
+                    manager.and_(g, f)
+                else:
+                    seed_ite(f, g, FALSE)
+                    seed_ite(g, f, FALSE)
+
+        return best_of(run, repeats)
+
+    manager.reset_stats()
+    apply_ms = forward_then_reversed(True) * 1000
+    stats = manager.stats()
+    return {
+        "name": "commutative_cache",
+        "vars": num_vars,
+        "pairs": pairs,
+        "apply_ms": apply_ms,
+        "ite_ms": forward_then_reversed(False) * 1000,
+        "apply_hit_rate": round(stats.hit_rate("and"), 4),
+    }
+
+
+def bench_and_many(conjuncts_count: int, repeats: int) -> dict:
+    """Balanced n-ary conjunction vs the seed's linear fold.
+
+    The workload mirrors the Batfish-baseline consumer: each conjunct
+    is a cube over its own field block (what ``rule_bdd`` conjoins per
+    ACL rule).  A linear fold re-walks the ever-growing accumulator
+    for every conjunct — O(n^2) node visits — where the balanced tree
+    combines equal-sized halves, O(n log n).
+    """
+    block = 4
+    manager = Bdd()
+    manager.new_vars(conjuncts_count * block)
+    rng = random.Random(SEED)
+    conjuncts = [
+        manager.cube(
+            {i * block + j: rng.random() < 0.5 for j in range(block)}
+        )
+        for i in range(conjuncts_count)
+    ]
+    rng.shuffle(conjuncts)
+
+    def balanced() -> None:
+        manager.clear_cache()
+        manager.and_many(conjuncts)
+
+    def linear() -> None:
+        manager.clear_cache()
+        result = 1
+        for node in conjuncts:
+            result = manager.and_(result, node)
+
+    return {
+        "name": "and_many",
+        "conjuncts": len(conjuncts),
+        "balanced_ms": best_of(balanced, repeats) * 1000,
+        "linear_ms": best_of(linear, repeats) * 1000,
+    }
+
+
+def bench_relational_product(width: int, repeats: int) -> dict:
+    """Fused and_exists vs materializing the conjunction.
+
+    The composition shape: ``left(x, aux) AND right(aux, y)`` with the
+    middle block quantified away — exactly what transformer
+    composition computes.  The three-way conjunction is much larger
+    than either operand or the result, which is where fusion pays.
+    """
+    manager = Bdd()
+    manager.new_vars(3 * width)
+    x_levels = [3 * i for i in range(width)]
+    aux_levels = [3 * i + 1 for i in range(width)]
+    y_levels = [3 * i + 2 for i in range(width)]
+    rng = random.Random(SEED)
+    left = manager.and_many(
+        manager.iff(
+            manager.var(aux_levels[i]),
+            manager.xor(
+                manager.var(x_levels[i]),
+                manager.var(x_levels[rng.randrange(width)]),
+            ),
+        )
+        for i in range(width)
+    )
+    right = manager.and_many(
+        manager.iff(
+            manager.var(y_levels[i]),
+            manager.xor(
+                manager.var(aux_levels[i]),
+                manager.var(aux_levels[rng.randrange(width)]),
+            ),
+        )
+        for i in range(width)
+    )
+
+    seed_ite = SeedIte(manager)
+
+    def fused() -> int:
+        manager.clear_cache()
+        return manager.and_exists(left, right, aux_levels)
+
+    def unfused() -> int:
+        # The seed formulation: conjoin through the ite detour (the
+        # SeedIte replica), then quantify the materialized
+        # conjunction.  Quantification still uses the live exists, so
+        # the row isolates the fusion win, conservatively.
+        manager.clear_cache()
+        seed_ite.clear_cache()
+        conj = seed_ite(left, right, FALSE)
+        return manager.exists(conj, aux_levels)
+
+    assert fused() == unfused()
+    conj = manager.and_(left, right)
+    return {
+        "name": "relational_product",
+        "width": width,
+        "left_nodes": manager.node_count(left),
+        "right_nodes": manager.node_count(right),
+        "conjunction_nodes": manager.node_count(conj),
+        "fused_ms": best_of(fused, repeats) * 1000,
+        "unfused_ms": best_of(unfused, repeats) * 1000,
+    }
+
+
+def bench_transformer_image(lines: int, repeats: int) -> dict:
+    """End-to-end transformer post-image on an ACL model.
+
+    The input set is non-trivial (a predicate over several header
+    fields), so the unfused formulation has a real conjunction to
+    materialize.
+    """
+    acl = random_acl(lines, seed=SEED)
+    f = ZenFunction(lambda h: acl_match_line(acl, h), [Header], name="acl")
+
+    context = TransformerContext()
+    transformer = f.transformer(context=context)
+    predicate = ZenFunction(
+        lambda h: (h.dst_port <= 1024)
+        & ((h.protocol == 6) | (h.protocol == 17))
+        & (h.src_port >= 1024),
+        [Header],
+        name="interesting",
+    )
+    input_set = context.from_predicate(predicate)
+
+    # Both formulations start from the same shifted set so the timed
+    # region is exactly the image kernel (the conjoin+quantify step
+    # transform_forward performs).
+    manager = context.manager
+    in_space = context.space(transformer.input_type)
+    shifted = manager.rename(
+        input_set.node, dict(zip(in_space.levels, transformer.in_levels))
+    )
+    manager.reset_stats()
+
+    def fused() -> None:
+        manager.clear_cache()
+        manager.and_exists(
+            shifted, transformer.relation, transformer.in_levels
+        )
+
+    fused_ms = best_of(fused, repeats) * 1000
+    stats = manager.stats()
+
+    # Seed formulation: materialize the conjunction through the ite
+    # detour (the SeedIte replica), then quantify it — what
+    # transform_forward did before the fused kernel and the dedicated
+    # apply kernels existed.
+    seed_ite = SeedIte(manager)
+
+    def unfused() -> None:
+        manager.clear_cache()
+        seed_ite.clear_cache()
+        conj = seed_ite(shifted, transformer.relation, FALSE)
+        manager.exists(conj, transformer.in_levels)
+
+    unfused_ms = best_of(unfused, repeats) * 1000
+    return {
+        "name": "transformer_image",
+        "acl_lines": lines,
+        "relation_nodes": manager.node_count(transformer.relation),
+        "fused_ms": fused_ms,
+        "unfused_ms": unfused_ms,
+        "bdd_stats": stats.as_dict(),
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="small sizes (CI smoke run)"
+    )
+    def positive_int(text: str) -> int:
+        value = int(text)
+        if value < 1:
+            raise argparse.ArgumentTypeError("must be >= 1")
+        return value
+
+    parser.add_argument("--repeats", type=positive_int, default=3)
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent
+        / "BENCH_micro_bdd.json",
+    )
+    args = parser.parse_args()
+    if not args.out.parent.is_dir():
+        parser.error(f"--out directory does not exist: {args.out.parent}")
+
+    if args.quick:
+        sizes = dict(vars=24, pairs=40, many=64, width=10, acl=20)
+    else:
+        sizes = dict(vars=40, pairs=150, many=192, width=12, acl=60)
+
+    results = [
+        bench_apply_vs_ite(sizes["vars"], sizes["pairs"], args.repeats),
+        bench_commutative_cache(sizes["vars"], sizes["pairs"], args.repeats),
+        bench_and_many(sizes["many"], args.repeats),
+        bench_relational_product(sizes["width"], args.repeats),
+        bench_transformer_image(sizes["acl"], args.repeats),
+    ]
+
+    report = {
+        "bench": "micro_bdd",
+        "quick": args.quick,
+        "repeats": args.repeats,
+        "python": platform.python_version(),
+        "results": results,
+    }
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+
+    print(f"{'benchmark':>20} {'new_ms':>10} {'seed_ms':>10} {'speedup':>8}")
+    pairs = {
+        "apply_and": ("apply_ms", "ite_ms"),
+        "commutative_cache": ("apply_ms", "ite_ms"),
+        "and_many": ("balanced_ms", "linear_ms"),
+        "relational_product": ("fused_ms", "unfused_ms"),
+        "transformer_image": ("fused_ms", "unfused_ms"),
+    }
+    for row in results:
+        new_key, old_key = pairs[row["name"]]
+        new, old = row[new_key], row[old_key]
+        speedup = old / new if new else float("inf")
+        print(f"{row['name']:>20} {new:>10.2f} {old:>10.2f} {speedup:>7.2f}x")
+    print(f"\nwrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -15,12 +15,29 @@ import sys
 import time
 
 from repro import ZenFunction
+from repro.backends import BddBackend, SatBackend
 from repro.baselines import find_packet_matching_last_line
 from repro.lang.listops import contains
 from repro.network import Header, Route, acl_match_line, apply_route_map
 from repro.workloads import random_acl, random_route_map
 
 SEED = 2020
+
+
+def print_backend_stats(bdd_backend: BddBackend, sat_backend: SatBackend) -> None:
+    """Op-level counters accumulated over a series sweep.
+
+    The BDD side reports per-kernel cache hit rates and the peak node
+    count (the apply/and_exists/quantify kernels each keep their own
+    cache); the SAT side reports CDCL counters summed across solves.
+    """
+    print("  bdd:", bdd_backend.manager.stats().summary())
+    sat = sat_backend.statistics
+    print(
+        "  sat: solves={solves} conflicts={conflicts} "
+        "decisions={decisions} propagations={propagations} "
+        "learned={learned}".format(**sat)
+    )
 
 
 def timed(fn, repeats: int = 3) -> float:
@@ -35,6 +52,11 @@ def timed(fn, repeats: int = 3) -> float:
 def acl_series(sizes, repeats: int) -> None:
     print("\nFigure 10 (left): ACL verification, time in ms")
     print(f"{'lines':>7} {'zen_bdd':>9} {'zen_sat':>9} {'batfish':>9}")
+    # Timing uses fresh (string) backends per call so every repeat is
+    # cold; the instance backends below accumulate op-level statistics
+    # across the whole sweep via one extra untimed pass per size.
+    bdd_backend = BddBackend()
+    sat_backend = SatBackend()
     for lines in sizes:
         acl = random_acl(lines, seed=SEED)
         f = ZenFunction(
@@ -51,15 +73,20 @@ def acl_series(sizes, repeats: int) -> None:
         t_base = timed(
             lambda: find_packet_matching_last_line(acl), repeats
         )
+        f.find(lambda h, r: r == last, backend=bdd_backend)
+        f.find(lambda h, r: r == last, backend=sat_backend)
         print(
             f"{lines:>7} {t_bdd * 1000:>9.1f} {t_sat * 1000:>9.1f} "
             f"{t_base * 1000:>9.1f}"
         )
+    print_backend_stats(bdd_backend, sat_backend)
 
 
 def routemap_series(sizes, repeats: int) -> None:
     print("\nFigure 10 (right): route-map verification, time in ms")
     print(f"{'lines':>7} {'zen_bdd':>9} {'zen_sat':>9}   (structural query)")
+    bdd_backend = BddBackend()
+    sat_backend = SatBackend()
     for lines in sizes:
         rm = random_route_map(lines, seed=SEED)
         f = ZenFunction(
@@ -77,7 +104,10 @@ def routemap_series(sizes, repeats: int) -> None:
 
         t_bdd = timed(lambda: query("bdd"), repeats)
         t_sat = timed(lambda: query("sat"), repeats)
+        query(bdd_backend)
+        query(sat_backend)
         print(f"{lines:>7} {t_bdd * 1000:>9.1f} {t_sat * 1000:>9.1f}")
+    print_backend_stats(bdd_backend, sat_backend)
 
 
 def main() -> None:

@@ -36,11 +36,39 @@ class SatBackend:
 
     def __init__(self) -> None:
         self._aig = Aig()
+        self._stats = {
+            "solves": 0,
+            "conflicts": 0,
+            "decisions": 0,
+            "propagations": 0,
+            "learned": 0,
+        }
 
     @property
     def aig(self) -> Aig:
         """The underlying circuit (exposed for statistics and export)."""
         return self._aig
+
+    @property
+    def statistics(self) -> dict:
+        """CDCL counters accumulated across all solves on this backend.
+
+        Mirrors :attr:`repro.sat.Solver.statistics` (conflicts,
+        decisions, propagations, learned clauses) plus the number of
+        solver invocations.
+        """
+        return dict(self._stats)
+
+    def reset_statistics(self) -> None:
+        """Zero the accumulated solver counters."""
+        for key in self._stats:
+            self._stats[key] = 0
+
+    def _accumulate(self, solver) -> None:
+        stats = solver.statistics
+        self._stats["solves"] += 1
+        for key in ("conflicts", "decisions", "propagations", "learned"):
+            self._stats[key] += stats[key]
 
     def true(self) -> Bit:
         return TRUE_LIT
@@ -80,7 +108,9 @@ class SatBackend:
         if constraint == FALSE_LIT:
             return None
         mapping, _ = encode(self._aig, [constraint])
-        if not mapping.solver.solve():
+        satisfiable = mapping.solver.solve()
+        self._accumulate(mapping.solver)
+        if not satisfiable:
             return None
         input_values = {
             lit: mapping.model_value(lit) for lit in self._aig.inputs
@@ -98,18 +128,21 @@ class SatBackend:
         mapping, _ = encode(self._aig, [constraint])
         solver = mapping.solver
         produced = 0
-        while produced < limit and solver.solve():
-            snapshot = {bit: mapping.model_value(bit) for bit in over}
-            yield _FixedModel(snapshot)
-            produced += 1
-            blocking = []
-            for bit in over:
-                lit = mapping.solver_literal(bit)
-                if lit is None:
-                    continue
-                blocking.append(-lit if snapshot[bit] else lit)
-            if not blocking or not solver.add_clause(blocking):
-                return
+        try:
+            while produced < limit and solver.solve():
+                snapshot = {bit: mapping.model_value(bit) for bit in over}
+                yield _FixedModel(snapshot)
+                produced += 1
+                blocking = []
+                for bit in over:
+                    lit = mapping.solver_literal(bit)
+                    if lit is None:
+                        continue
+                    blocking.append(-lit if snapshot[bit] else lit)
+                if not blocking or not solver.add_clause(blocking):
+                    return
+        finally:
+            self._accumulate(solver)
 
 
 class _FixedModel:

@@ -55,17 +55,13 @@ class BatfishAclEncoder:
 
     def prefix_bdd(self, field: str, address: int, length: int) -> int:
         """BDD for ``field matches address/length`` (a cube)."""
-        manager = self.manager
         variables = self._field_vars[field]
         width = len(variables)
-        result = 1  # TRUE
-        for i in range(length):
-            bit = (address >> (width - 1 - i)) & 1
-            var = (
-                manager.var(variables[i]) if bit else manager.nvar(variables[i])
-            )
-            result = manager.and_(result, var)
-        return result
+        literals = {
+            variables[i]: bool((address >> (width - 1 - i)) & 1)
+            for i in range(length)
+        }
+        return self.manager.cube(literals)
 
     def range_bdd(self, field: str, low: int, high: int) -> int:
         """BDD for ``low <= field <= high`` (linear in bit width)."""
@@ -103,26 +99,19 @@ class BatfishAclEncoder:
 
     def rule_bdd(self, rule: AclRule) -> int:
         """BDD for one rule's match condition."""
-        manager = self.manager
-        result = self.prefix_bdd("src_ip", rule.src.address, rule.src.length)
-        result = manager.and_(
-            result, self.prefix_bdd("dst_ip", rule.dst.address, rule.dst.length)
-        )
-        if result == 0:
-            return 0
+        conjuncts = [
+            self.prefix_bdd("src_ip", rule.src.address, rule.src.length),
+            self.prefix_bdd("dst_ip", rule.dst.address, rule.dst.length),
+        ]
         if rule.src_ports is not None:
-            result = manager.and_(
-                result, self.range_bdd("src_port", *rule.src_ports)
-            )
+            conjuncts.append(self.range_bdd("src_port", *rule.src_ports))
         if rule.dst_ports is not None:
-            result = manager.and_(
-                result, self.range_bdd("dst_port", *rule.dst_ports)
-            )
+            conjuncts.append(self.range_bdd("dst_port", *rule.dst_ports))
         if rule.protocol is not None:
-            result = manager.and_(
-                result, self.range_bdd("protocol", rule.protocol, rule.protocol)
+            conjuncts.append(
+                self.range_bdd("protocol", rule.protocol, rule.protocol)
             )
-        return result
+        return self.manager.and_many(conjuncts)
 
     # ------------------------------------------------------------------
     # ACL-level queries
@@ -141,12 +130,11 @@ class BatfishAclEncoder:
 
     def allowed_bdd(self, acl: Acl) -> int:
         """BDD of all packets the ACL permits."""
-        manager = self.manager
-        allowed = 0
-        for line, rule in zip(self.match_line_bdds(acl), acl.rules):
-            if rule.action:
-                allowed = manager.or_(allowed, line)
-        return allowed
+        return self.manager.or_many(
+            line
+            for line, rule in zip(self.match_line_bdds(acl), acl.rules)
+            if rule.action
+        )
 
     def decode(self, assignment: Dict[int, bool]) -> Header:
         """Decode a BDD assignment into a concrete header."""

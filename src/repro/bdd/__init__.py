@@ -4,12 +4,13 @@ Provides the ROBDD manager used by the Zen BDD backend and the state
 set transformer abstraction, plus variable-ordering planning helpers.
 """
 
-from .manager import FALSE, TRUE, Bdd
+from .manager import FALSE, TRUE, Bdd, BddStats
 from .ordering import VariableAllocator, plan_order, union_find_interleave_groups
 from .reorder import order_quality, rebuild, sift
 
 __all__ = [
     "Bdd",
+    "BddStats",
     "TRUE",
     "FALSE",
     "VariableAllocator",

@@ -10,10 +10,38 @@ Design notes
 * Nodes are integers; 0 is the FALSE terminal and 1 is TRUE.
 * Each internal node stores a *level* (its position in the variable
   order), a low child (level-variable = False) and a high child.
-* A unique table enforces canonicity; a computed cache memoizes the
-  core recursive operations.
+* A unique table enforces canonicity; per-operation computed caches
+  memoize the core kernels.
 * Variables are created against an explicit order; helper constructors
   support the interleaved orders the paper's heuristics produce.
+
+Kernel architecture (the transformer hot path)
+----------------------------------------------
+All core operations are *iterative* two-phase kernels (an explicit
+expand/combine stack instead of Python recursion), so deep BDDs from
+wide packet types can never hit the interpreter's recursion limit:
+
+* ``ite``          — the general 3-operand kernel (its own cache);
+* ``and_/or_/xor`` — dedicated binary apply kernels with commutative
+  cache-key normalization (``and_(a, b)`` and ``and_(b, a)`` share one
+  cache entry) so binary ops no longer detour through the ``ite``
+  cache;
+* ``not_``         — a negation kernel whose cache is symmetric
+  (negation is an involution);
+* ``and_exists``   — the fused relational-product kernel: computes
+  ``exists(and_(f, g), V)`` without ever materializing the full
+  conjunction, the operation at the heart of transformer pre/post
+  images and composition;
+* ``exists/forall/restrict/rename/permute`` — iterative traversals
+  with the quantified-level ``max()`` hoisted out of the per-node
+  loop;
+* ``and_many/or_many`` — balanced-tree reduction (a linear fold builds
+  lopsided intermediates whose sizes accumulate).
+
+An op-level statistics layer (:class:`BddStats`) counts cache
+hits/misses per kernel, public-op calls, and peak node count; optional
+wall-time per public op is gated behind a cheap flag check
+(:meth:`Bdd.enable_timing`).
 
 The manager deliberately exposes levels == variable indices: variable
 ``i`` sits at level ``i`` in the order.  Callers that need a specific
@@ -24,6 +52,7 @@ chooses an allocation before building any BDDs.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..errors import ZenSolverError
@@ -32,6 +61,93 @@ FALSE = 0
 TRUE = 1
 
 _TERMINAL_LEVEL = 1 << 30
+
+# Apply-kernel opcodes.
+_OP_AND = 0
+_OP_OR = 1
+_OP_XOR = 2
+_OP_NAMES = ("and", "or", "xor")
+
+
+class BddStats:
+    """Op-level counters for a :class:`Bdd` manager.
+
+    * ``calls``        — public-op invocation counts;
+    * ``cache_hits`` / ``cache_misses`` — per-kernel computed-cache
+      behaviour (a miss is one node expansion of that kernel);
+    * ``peak_nodes``   — high-water mark of the unique table;
+    * ``node_count``   — table size when :meth:`Bdd.stats` was called;
+    * ``op_time``      — cumulative wall seconds per outermost public
+      op, populated only while :meth:`Bdd.enable_timing` is on.
+    """
+
+    __slots__ = (
+        "calls",
+        "cache_hits",
+        "cache_misses",
+        "op_time",
+        "peak_nodes",
+        "node_count",
+    )
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        """Zero all counters (peak restarts from the current table)."""
+        self.calls: Dict[str, int] = {}
+        self.cache_hits: Dict[str, int] = {}
+        self.cache_misses: Dict[str, int] = {}
+        self.op_time: Dict[str, float] = {}
+        self.peak_nodes = 0
+        self.node_count = 0
+
+    def hit_rate(self, op: str) -> float:
+        """Cache hit rate of one kernel (0.0 when it never ran)."""
+        hits = self.cache_hits.get(op, 0)
+        misses = self.cache_misses.get(op, 0)
+        total = hits + misses
+        return hits / total if total else 0.0
+
+    def as_dict(self) -> dict:
+        """Plain-dict snapshot (JSON-serializable)."""
+        ops = sorted(set(self.cache_hits) | set(self.cache_misses))
+        return {
+            "calls": dict(self.calls),
+            "cache_hits": dict(self.cache_hits),
+            "cache_misses": dict(self.cache_misses),
+            "cache_hit_rate": {op: round(self.hit_rate(op), 4) for op in ops},
+            "op_time": {op: round(t, 6) for op, t in self.op_time.items()},
+            "peak_nodes": self.peak_nodes,
+            "node_count": self.node_count,
+        }
+
+    def summary(self) -> str:
+        """A human-readable table of the counters."""
+        lines = [
+            f"nodes: {self.node_count} (peak {self.peak_nodes})",
+            f"{'op':>12} {'calls':>9} {'hits':>10} {'misses':>10} "
+            f"{'hit%':>6} {'time_ms':>9}",
+        ]
+        ops = sorted(
+            set(self.calls)
+            | set(self.cache_hits)
+            | set(self.cache_misses)
+            | set(self.op_time)
+        )
+        for op in ops:
+            hits = self.cache_hits.get(op, 0)
+            misses = self.cache_misses.get(op, 0)
+            rate = 100.0 * self.hit_rate(op)
+            ms = 1000.0 * self.op_time.get(op, 0.0)
+            lines.append(
+                f"{op:>12} {self.calls.get(op, 0):>9} {hits:>10} "
+                f"{misses:>10} {rate:>6.1f} {ms:>9.2f}"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BddStats({self.as_dict()!r})"
 
 
 class Bdd:
@@ -52,7 +168,71 @@ class Bdd:
         self._unique: Dict[Tuple[int, int, int], int] = {}
         self._cache: Dict[Tuple, int] = {}
         self._ite_cache: Dict[Tuple[int, int, int], int] = {}
+        # One cache per binary opcode (and/or/xor): the per-node keys
+        # are plain (f, g) pairs, and the fused relational product can
+        # consult just the and-cache.
+        self._apply_caches: List[Dict[Tuple[int, int], int]] = [{}, {}, {}]
+        # Two-level caches for the quantification kernels: the outer
+        # key is the (interned) query — quantified level set — so the
+        # per-node inner keys stay small and cheap to hash.
+        self._quantify_cache: Dict[Tuple, Dict[int, int]] = {}
+        self._and_exists_cache: Dict[frozenset, Dict[Tuple[int, int], int]] = {}
+        self._neg_cache: Dict[int, int] = {}
         self._num_vars = 0
+        self._stats = BddStats()
+        self._timing = False
+        self._timing_depth = 0
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+
+    def stats(self) -> BddStats:
+        """The live op-level statistics for this manager."""
+        st = self._stats
+        st.node_count = len(self._level)
+        if st.node_count > st.peak_nodes:
+            st.peak_nodes = st.node_count
+        return st
+
+    def reset_stats(self) -> None:
+        """Zero all statistics counters."""
+        self._stats.reset()
+
+    def enable_timing(self, enabled: bool = True) -> None:
+        """Toggle wall-time accounting for public ops.
+
+        Off by default: the hot path then pays only one flag check per
+        public call.
+        """
+        self._timing = enabled
+        self._timing_depth = 0
+
+    def _begin(self, op: str) -> float:
+        calls = self._stats.calls
+        calls[op] = calls.get(op, 0) + 1
+        if self._timing:
+            self._timing_depth += 1
+            if self._timing_depth == 1:
+                return perf_counter()
+        return 0.0
+
+    def _end(self, op: str, t0: float) -> None:
+        if self._timing and self._timing_depth > 0:
+            self._timing_depth -= 1
+            if self._timing_depth == 0:
+                times = self._stats.op_time
+                times[op] = times.get(op, 0.0) + (perf_counter() - t0)
+        nodes = len(self._level)
+        if nodes > self._stats.peak_nodes:
+            self._stats.peak_nodes = nodes
+
+    def _count_cache(self, op: str, hits: int, misses: int) -> None:
+        st = self._stats
+        if hits:
+            st.cache_hits[op] = st.cache_hits.get(op, 0) + hits
+        if misses:
+            st.cache_misses[op] = st.cache_misses.get(op, 0) + misses
 
     # ------------------------------------------------------------------
     # Variables and raw nodes
@@ -130,17 +310,47 @@ class Bdd:
     def ite(self, f: int, g: int, h: int) -> int:
         """If-then-else: (f AND g) OR (NOT f AND h).
 
-        Iterative two-phase implementation with a dedicated cache; this
-        is the hottest function in the library, so it avoids Python
-        recursion and tuple churn.
+        Iterative two-phase implementation with a dedicated cache; the
+        general 3-operand kernel.  Binary boolean ops use the
+        specialized apply kernels instead.
         """
+        t0 = self._begin("ite")
+        result = self._ite(f, g, h)
+        self._end("ite", t0)
+        return result
+
+    def _ite(self, f: int, g: int, h: int) -> int:
+        # Fast path mirroring the expansion-loop terminal cases, so
+        # tiny top-level calls skip the work-stack setup.
+        if f == TRUE:
+            return g
+        if f == FALSE:
+            return h
+        if g == h:
+            return g
+        if g == TRUE and h == FALSE:
+            return f
+        if h == FALSE:
+            return self._apply(_OP_AND, f, g)
+        if g == TRUE:
+            return self._apply(_OP_OR, f, h)
+        if h == TRUE:
+            return self._neg(self._apply(_OP_AND, f, self._neg(g)))
+        if g == FALSE:
+            return self._apply(_OP_AND, self._neg(f), h)
+        cached = self._ite_cache.get((f, g, h))
+        if cached is not None:
+            self._count_cache("ite", 1, 0)
+            return cached
         levels = self._level
         lows = self._low
         highs = self._high
         cache = self._ite_cache
         unique = self._unique
-        # Work stack: ("E", f, g, h) expands a triple; ("R", key, lv)
-        # combines the two sub-results from the result stack.
+        hits = 0
+        misses = 0
+        # Work stack: phase 0 expands a triple; phase 1 combines the
+        # two sub-results from the result stack.
         expand = [(f, g, h)]
         phase = [0]
         keys: List = [None]
@@ -182,11 +392,31 @@ class Bdd:
             if tg == TRUE and th == FALSE:
                 results.append(tf)
                 continue
+            # Normalize terminal-branch triples to the binary kernels
+            # (CUDD-style): ite work then shares the apply caches with
+            # direct and_/or_ calls instead of duplicating it in the
+            # 3-operand cache.
+            if th == FALSE:
+                results.append(self._apply(_OP_AND, tf, tg))
+                continue
+            if tg == TRUE:
+                results.append(self._apply(_OP_OR, tf, th))
+                continue
+            if th == TRUE:
+                results.append(
+                    self._neg(self._apply(_OP_AND, tf, self._neg(tg)))
+                )
+                continue
+            if tg == FALSE:
+                results.append(self._apply(_OP_AND, self._neg(tf), th))
+                continue
             ckey = (tf, tg, th)
             cached = cache.get(ckey)
             if cached is not None:
+                hits += 1
                 results.append(cached)
                 continue
+            misses += 1
             lf, lg, lh = levels[tf], levels[tg], levels[th]
             lv = lf if lf < lg else lg
             if lh < lv:
@@ -205,27 +435,236 @@ class Bdd:
             expand.append((f0, g0, h0))
             phase.append(0)
             keys.append(None)
+        self._count_cache("ite", hits, misses)
         return results[-1]
 
     def not_(self, f: int) -> int:
-        """Negation."""
-        return self.ite(f, FALSE, TRUE)
+        """Negation (dedicated kernel; the cache is symmetric)."""
+        t0 = self._begin("not")
+        result = self._neg(f)
+        self._end("not", t0)
+        return result
+
+    def _neg(self, f: int) -> int:
+        if f == FALSE:
+            return TRUE
+        if f == TRUE:
+            return FALSE
+        cached = self._neg_cache.get(f)
+        if cached is not None:
+            self._count_cache("not", 1, 0)
+            return cached
+        levels = self._level
+        lows = self._low
+        highs = self._high
+        cache = self._neg_cache
+        hits = 0
+        misses = 0
+        expand = [f]
+        phase = [0]
+        keys: List = [None]
+        results: List[int] = []
+        while expand:
+            task = expand.pop()
+            ph = phase.pop()
+            key = keys.pop()
+            if ph == 1:
+                high = results.pop()
+                low = results.pop()
+                lv, src = key
+                node = self._mk(lv, low, high)
+                # Negation is an involution: cache both directions.
+                cache[src] = node
+                cache[node] = src
+                results.append(node)
+                continue
+            if task == FALSE:
+                results.append(TRUE)
+                continue
+            if task == TRUE:
+                results.append(FALSE)
+                continue
+            cached = cache.get(task)
+            if cached is not None:
+                hits += 1
+                results.append(cached)
+                continue
+            misses += 1
+            lv = levels[task]
+            expand.append(0)
+            phase.append(1)
+            keys.append((lv, task))
+            expand.append(highs[task])
+            phase.append(0)
+            keys.append(None)
+            expand.append(lows[task])
+            phase.append(0)
+            keys.append(None)
+        self._count_cache("not", hits, misses)
+        return results[-1]
 
     def and_(self, f: int, g: int) -> int:
-        """Conjunction."""
-        return self.ite(f, g, FALSE)
+        """Conjunction (dedicated apply kernel)."""
+        t0 = self._begin("and")
+        result = self._apply(_OP_AND, f, g)
+        self._end("and", t0)
+        return result
 
     def or_(self, f: int, g: int) -> int:
-        """Disjunction."""
-        return self.ite(f, TRUE, g)
+        """Disjunction (dedicated apply kernel)."""
+        t0 = self._begin("or")
+        result = self._apply(_OP_OR, f, g)
+        self._end("or", t0)
+        return result
 
     def xor(self, f: int, g: int) -> int:
-        """Exclusive or."""
-        return self.ite(f, self.not_(g), g)
+        """Exclusive or (dedicated apply kernel)."""
+        t0 = self._begin("xor")
+        result = self._apply(_OP_XOR, f, g)
+        self._end("xor", t0)
+        return result
+
+    def _apply(self, opc: int, f: int, g: int) -> int:
+        """Binary apply kernel for the commutative ops and/or/xor.
+
+        Operands in a cache key are sorted (all three ops commute), so
+        ``op(a, b)`` and ``op(b, a)`` share one entry.
+        """
+        # Fast path: resolve terminal/cached top-level calls without
+        # paying the work-stack setup (the symbolic bitblaster makes
+        # very many tiny calls).
+        if opc == _OP_AND:
+            if f == FALSE or g == FALSE:
+                return FALSE
+            if f == TRUE or f == g:
+                return g
+            if g == TRUE:
+                return f
+        elif opc == _OP_OR:
+            if f == TRUE or g == TRUE:
+                return TRUE
+            if f == FALSE or f == g:
+                return g
+            if g == FALSE:
+                return f
+        else:
+            if f == g:
+                return FALSE
+            if f == FALSE:
+                return g
+            if g == FALSE:
+                return f
+            if f == TRUE:
+                return self._neg(g)
+            if g == TRUE:
+                return self._neg(f)
+        cache = self._apply_caches[opc]
+        cached = cache.get((f, g) if f < g else (g, f))
+        if cached is not None:
+            self._count_cache(_OP_NAMES[opc], 1, 0)
+            return cached
+        levels = self._level
+        lows = self._low
+        highs = self._high
+        unique = self._unique
+        hits = 0
+        misses = 0
+        expand: List = [(f, g)]
+        phase = [0]
+        keys: List = [None]
+        results: List[int] = []
+        while expand:
+            task = expand.pop()
+            ph = phase.pop()
+            key = keys.pop()
+            if ph == 1:
+                high = results.pop()
+                low = results.pop()
+                lv = task
+                if low == high:
+                    node = low
+                else:
+                    ukey = (lv, low, high)
+                    node = unique.get(ukey)
+                    if node is None:
+                        node = len(levels)
+                        levels.append(lv)
+                        lows.append(low)
+                        highs.append(high)
+                        unique[ukey] = node
+                cache[key] = node
+                results.append(node)
+                continue
+            tf, tg = task
+            # Terminal cases per opcode.
+            if opc == _OP_AND:
+                if tf == FALSE or tg == FALSE:
+                    results.append(FALSE)
+                    continue
+                if tf == TRUE or tf == tg:
+                    results.append(tg)
+                    continue
+                if tg == TRUE:
+                    results.append(tf)
+                    continue
+            elif opc == _OP_OR:
+                if tf == TRUE or tg == TRUE:
+                    results.append(TRUE)
+                    continue
+                if tf == FALSE or tf == tg:
+                    results.append(tg)
+                    continue
+                if tg == FALSE:
+                    results.append(tf)
+                    continue
+            else:  # XOR
+                if tf == tg:
+                    results.append(FALSE)
+                    continue
+                if tf == FALSE:
+                    results.append(tg)
+                    continue
+                if tg == FALSE:
+                    results.append(tf)
+                    continue
+                if tf == TRUE:
+                    results.append(self._neg(tg))
+                    continue
+                if tg == TRUE:
+                    results.append(self._neg(tf))
+                    continue
+            # Commutative cache-key normalization (the unswapped task
+            # tuple is reused as the key to avoid an allocation).
+            if tf > tg:
+                tf, tg = tg, tf
+                ckey = (tf, tg)
+            else:
+                ckey = task
+            cached = cache.get(ckey)
+            if cached is not None:
+                hits += 1
+                results.append(cached)
+                continue
+            misses += 1
+            lf, lg = levels[tf], levels[tg]
+            lv = lf if lf < lg else lg
+            f0, f1 = (lows[tf], highs[tf]) if lf == lv else (tf, tf)
+            g0, g1 = (lows[tg], highs[tg]) if lg == lv else (tg, tg)
+            expand.append(lv)
+            phase.append(1)
+            keys.append(ckey)
+            expand.append((f1, g1))
+            phase.append(0)
+            keys.append(None)
+            expand.append((f0, g0))
+            phase.append(0)
+            keys.append(None)
+        self._count_cache(_OP_NAMES[opc], hits, misses)
+        return results[-1]
 
     def iff(self, f: int, g: int) -> int:
         """Equivalence."""
-        return self.ite(f, g, self.not_(g))
+        return self._neg(self._apply(_OP_XOR, f, g))
 
     def implies(self, f: int, g: int) -> int:
         """Implication."""
@@ -236,22 +675,44 @@ class Bdd:
         return self.ite(g, FALSE, f)
 
     def and_many(self, nodes: Iterable[int]) -> int:
-        """Conjunction of many nodes."""
-        result = TRUE
-        for node in nodes:
-            result = self.and_(result, node)
-            if result == FALSE:
-                return FALSE
+        """Conjunction of many nodes (balanced-tree reduction).
+
+        A linear fold conjoins every operand into one ever-growing
+        accumulator; the balanced tree keeps intermediate results
+        small and independent, which also makes their cache entries
+        reusable across calls.
+        """
+        t0 = self._begin("and_many")
+        result = self._reduce_many(_OP_AND, nodes, TRUE, FALSE)
+        self._end("and_many", t0)
         return result
 
     def or_many(self, nodes: Iterable[int]) -> int:
-        """Disjunction of many nodes."""
-        result = FALSE
-        for node in nodes:
-            result = self.or_(result, node)
-            if result == TRUE:
-                return TRUE
+        """Disjunction of many nodes (balanced-tree reduction)."""
+        t0 = self._begin("or_many")
+        result = self._reduce_many(_OP_OR, nodes, FALSE, TRUE)
+        self._end("or_many", t0)
         return result
+
+    def _reduce_many(
+        self, opc: int, nodes: Iterable[int], neutral: int, absorbing: int
+    ) -> int:
+        pending = [n for n in nodes if n != neutral]
+        if absorbing in pending:
+            return absorbing
+        if not pending:
+            return neutral
+        while len(pending) > 1:
+            merged: List[int] = []
+            for i in range(0, len(pending) - 1, 2):
+                node = self._apply(opc, pending[i], pending[i + 1])
+                if node == absorbing:
+                    return absorbing
+                merged.append(node)
+            if len(pending) & 1:
+                merged.append(pending[-1])
+            pending = merged
+        return pending[0]
 
     # ------------------------------------------------------------------
     # Quantification, substitution, restriction
@@ -259,66 +720,326 @@ class Bdd:
 
     def exists(self, f: int, variables: Iterable[int]) -> int:
         """Existential quantification over variable indices."""
-        levels = frozenset(variables)
-        if not levels:
+        level_set = frozenset(variables)
+        if not level_set:
             return f
-        return self._quantify(f, levels, self.or_)
+        t0 = self._begin("exists")
+        result = self._quantify(f, level_set, max(level_set), _OP_OR)
+        self._end("exists", t0)
+        return result
 
     def forall(self, f: int, variables: Iterable[int]) -> int:
         """Universal quantification over variable indices."""
-        levels = frozenset(variables)
-        if not levels:
+        level_set = frozenset(variables)
+        if not level_set:
             return f
-        return self._quantify(f, levels, self.and_)
+        t0 = self._begin("forall")
+        result = self._quantify(f, level_set, max(level_set), _OP_AND)
+        self._end("forall", t0)
+        return result
 
     def _quantify(
-        self, f: int, levels: frozenset, merge: Callable[[int, int], int]
+        self, f: int, level_set: frozenset, max_level: int, merge_opc: int
     ) -> int:
-        key = ("quant", f, levels, merge.__name__)
-        cached = self._cache.get(key)
-        if cached is not None:
-            return cached
-        if self.is_terminal(f):
-            return f
-        level = self._level[f]
-        if level > max(levels):
-            # All quantified variables are above this node.
-            return f
-        low = self._quantify(self._low[f], levels, merge)
-        high = self._quantify(self._high[f], levels, merge)
-        if level in levels:
-            result = merge(low, high)
+        """Iterative quantification kernel.
+
+        ``max_level`` is hoisted once per query: any node below it
+        cannot contain a quantified variable and is returned as-is.
+        All results (including that early exit) are cached.
+        """
+        name = "exists" if merge_opc == _OP_OR else "forall"
+        # Quantified levels merge toward this absorbing terminal: once
+        # the low branch hits it, the high branch is never expanded.
+        absorbing = TRUE if merge_opc == _OP_OR else FALSE
+        neutral = FALSE if merge_opc == _OP_OR else TRUE
+        levels = self._level
+        lows = self._low
+        highs = self._high
+        subcache = self._quantify_cache.get((name, level_set))
+        if subcache is None:
+            subcache = self._quantify_cache[(name, level_set)] = {}
+        cache = subcache
+        hits = 0
+        misses = 0
+        # Phases: 0 = expand a node, 1 = combine two child results,
+        # 2 = early-termination check between the children of a
+        # quantified level.
+        expand: List = [f]
+        phase = [0]
+        keys: List = [None]
+        results: List[int] = []
+        while expand:
+            task = expand.pop()
+            ph = phase.pop()
+            key = keys.pop()
+            if ph == 1:
+                high = results.pop()
+                low = results.pop()
+                lv, ckey = key
+                # Quantified levels are marked with a negative lv so
+                # the combine avoids a second set-membership test.
+                if lv < 0:
+                    # Inline the common merge terminals; fall back to
+                    # the apply kernel for real work.
+                    if low == high or high == neutral:
+                        node = low
+                    elif low == neutral:
+                        node = high
+                    elif low == absorbing or high == absorbing:
+                        node = absorbing
+                    else:
+                        node = self._apply(merge_opc, low, high)
+                else:
+                    node = self._mk(lv, low, high)
+                cache[ckey] = node
+                results.append(node)
+                continue
+            if ph == 2:
+                if results[-1] == absorbing:
+                    cache[key] = absorbing
+                    continue  # result stays on the stack; skip high
+                expand.append(0)
+                phase.append(1)
+                keys.append((-1, key))
+                expand.append(task)  # the pending high child
+                phase.append(0)
+                keys.append(None)
+                continue
+            if task < 2:
+                results.append(task)
+                continue
+            lv = levels[task]
+            ckey = task
+            cached = cache.get(ckey)
+            if cached is not None:
+                hits += 1
+                results.append(cached)
+                continue
+            if lv > max_level:
+                # All quantified variables are above this node.
+                cache[ckey] = task
+                results.append(task)
+                continue
+            misses += 1
+            if lv in level_set:
+                expand.append(highs[task])
+                phase.append(2)
+                keys.append(ckey)
+            else:
+                expand.append(0)
+                phase.append(1)
+                keys.append((lv, ckey))
+                expand.append(highs[task])
+                phase.append(0)
+                keys.append(None)
+            expand.append(lows[task])
+            phase.append(0)
+            keys.append(None)
+        self._count_cache(name, hits, misses)
+        return results[-1]
+
+    def and_exists(self, f: int, g: int, variables: Iterable[int]) -> int:
+        """Fused relational product: ``exists(and_(f, g), variables)``.
+
+        The defining operation of transformer image computation
+        ("conjoin the relation, then existentially quantify").  Fusing
+        the two passes means the full conjunction — which can be
+        exponentially larger than either operand or the result — is
+        never materialized: quantified levels are collapsed with
+        ``or`` *during* the conjunction traversal.
+        """
+        level_set = frozenset(variables)
+        t0 = self._begin("and_exists")
+        if not level_set:
+            result = self._apply(_OP_AND, f, g)
         else:
-            result = self._mk(level, low, high)
-        self._cache[key] = result
+            result = self._and_exists(f, g, level_set, max(level_set))
+        self._end("and_exists", t0)
         return result
+
+    def _and_exists(
+        self, f: int, g: int, level_set: frozenset, max_level: int
+    ) -> int:
+        levels = self._level
+        lows = self._low
+        highs = self._high
+        and_cache = self._apply_caches[_OP_AND]
+        subcache = self._and_exists_cache.get(level_set)
+        if subcache is None:
+            subcache = self._and_exists_cache[level_set] = {}
+        cache = subcache
+        hits = 0
+        misses = 0
+        # Phases: 0 = expand a pair, 1 = combine two child results,
+        # 2 = early-termination check at a quantified level (once the
+        # low branch saturates to TRUE the high pair is never visited).
+        expand: List = [(f, g)]
+        phase = [0]
+        keys: List = [None]
+        results: List[int] = []
+        while expand:
+            task = expand.pop()
+            ph = phase.pop()
+            key = keys.pop()
+            if ph == 1:
+                high = results.pop()
+                low = results.pop()
+                lv, ckey = key
+                # Quantified levels are marked with a negative lv so
+                # the combine avoids a second set-membership test.
+                if lv < 0:
+                    # Inline the common merge terminals; fall back to
+                    # the apply kernel for real work.
+                    if low == high or high == FALSE:
+                        node = low
+                    elif low == FALSE:
+                        node = high
+                    elif low == TRUE or high == TRUE:
+                        node = TRUE
+                    else:
+                        node = self._apply(_OP_OR, low, high)
+                else:
+                    node = self._mk(lv, low, high)
+                cache[ckey] = node
+                results.append(node)
+                continue
+            if ph == 2:
+                if results[-1] == TRUE:
+                    cache[key] = TRUE
+                    continue  # result stays on the stack; skip high
+                expand.append(0)
+                phase.append(1)
+                keys.append((-1, key))
+                expand.append(task)  # the pending high pair
+                phase.append(0)
+                keys.append(None)
+                continue
+            tf, tg = task
+            if tf == FALSE or tg == FALSE:
+                results.append(FALSE)
+                continue
+            if tf == TRUE and tg == TRUE:
+                results.append(TRUE)
+                continue
+            if tf == TRUE or tf == tg:
+                results.append(
+                    self._quantify(tg, level_set, max_level, _OP_OR)
+                )
+                continue
+            if tg == TRUE:
+                results.append(
+                    self._quantify(tf, level_set, max_level, _OP_OR)
+                )
+                continue
+            if tf > tg:
+                tf, tg = tg, tf
+                task = (tf, tg)
+            lf, lg = levels[tf], levels[tg]
+            lv = lf if lf < lg else lg
+            if lv > max_level:
+                # No quantified variable below: plain conjunction.
+                results.append(self._apply(_OP_AND, tf, tg))
+                continue
+            ckey = task
+            cached = cache.get(ckey)
+            if cached is not None:
+                hits += 1
+                results.append(cached)
+                continue
+            # If this conjunction was already materialized by the apply
+            # kernel, quantify the cached node instead: the per-node
+            # quantify cache shares work across all pairs that reach
+            # the same conjunction.  Skipped while the and-cache is
+            # empty (cold managers) so cold relational products do not
+            # pay a per-expansion probe that can never hit.
+            conj = and_cache.get(ckey) if and_cache else None
+            if conj is not None:
+                hits += 1
+                node = self._quantify(conj, level_set, max_level, _OP_OR)
+                cache[ckey] = node
+                results.append(node)
+                continue
+            misses += 1
+            f0, f1 = (lows[tf], highs[tf]) if lf == lv else (tf, tf)
+            g0, g1 = (lows[tg], highs[tg]) if lg == lv else (tg, tg)
+            if lv in level_set:
+                expand.append((f1, g1))
+                phase.append(2)
+                keys.append(ckey)
+            else:
+                expand.append(0)
+                phase.append(1)
+                keys.append((lv, ckey))
+                expand.append((f1, g1))
+                phase.append(0)
+                keys.append(None)
+            expand.append((f0, g0))
+            phase.append(0)
+            keys.append(None)
+        self._count_cache("and_exists", hits, misses)
+        return results[-1]
 
     def restrict(self, f: int, assignment: Dict[int, bool]) -> int:
         """Cofactor: fix some variables to constants."""
         if not assignment:
             return f
-        items = frozenset(assignment.items())
-        return self._restrict(f, dict(assignment), items)
+        t0 = self._begin("restrict")
+        result = self._restrict(f, assignment, frozenset(assignment.items()))
+        self._end("restrict", t0)
+        return result
 
     def _restrict(self, f: int, assignment: Dict[int, bool], key_items) -> int:
-        if self.is_terminal(f):
-            return f
-        key = ("restrict", f, key_items)
-        cached = self._cache.get(key)
-        if cached is not None:
-            return cached
-        level = self._level[f]
-        if level in assignment:
-            branch = self._high[f] if assignment[level] else self._low[f]
-            result = self._restrict(branch, assignment, key_items)
-        else:
-            result = self._mk(
-                level,
-                self._restrict(self._low[f], assignment, key_items),
-                self._restrict(self._high[f], assignment, key_items),
-            )
-        self._cache[key] = result
-        return result
+        levels = self._level
+        lows = self._low
+        highs = self._high
+        cache = self._cache
+        hits = 0
+        misses = 0
+        expand: List = [f]
+        phase = [0]
+        keys: List = [None]
+        results: List[int] = []
+        while expand:
+            task = expand.pop()
+            ph = phase.pop()
+            key = keys.pop()
+            if ph == 1:
+                high = results.pop()
+                low = results.pop()
+                lv, ckey = key
+                node = self._mk(lv, low, high)
+                cache[ckey] = node
+                results.append(node)
+                continue
+            # Walk down assigned levels; the chain contributes nothing
+            # to the result graph.
+            node = task
+            while node >= 2:
+                decided = assignment.get(levels[node])
+                if decided is None:
+                    break
+                node = highs[node] if decided else lows[node]
+            if node < 2:
+                results.append(node)
+                continue
+            ckey = ("restrict", node, key_items)
+            cached = cache.get(ckey)
+            if cached is not None:
+                hits += 1
+                results.append(cached)
+                continue
+            misses += 1
+            expand.append(0)
+            phase.append(1)
+            keys.append((levels[node], ckey))
+            expand.append(highs[node])
+            phase.append(0)
+            keys.append(None)
+            expand.append(lows[node])
+            phase.append(0)
+            keys.append(None)
+        self._count_cache("restrict", hits, misses)
+        return results[-1]
 
     def compose(self, f: int, var_index: int, g: int) -> int:
         """Substitute BDD `g` for variable `var_index` in `f`."""
@@ -348,25 +1069,57 @@ class Bdd:
         for new_index in mapping.values():
             if not 0 <= new_index < self._num_vars:
                 raise ZenSolverError(f"unknown BDD variable {new_index}")
-        items = frozenset(mapping.items())
-        return self._rename(f, mapping, items)
+        t0 = self._begin("rename")
+        result = self._rename(f, mapping, frozenset(mapping.items()))
+        self._end("rename", t0)
+        return result
 
     def _rename(self, f: int, mapping: Dict[int, int], key_items) -> int:
-        if self.is_terminal(f):
-            return f
-        key = ("rename", f, key_items)
-        cached = self._cache.get(key)
-        if cached is not None:
-            return cached
-        level = self._level[f]
-        new_level = mapping.get(level, level)
-        result = self._mk(
-            new_level,
-            self._rename(self._low[f], mapping, key_items),
-            self._rename(self._high[f], mapping, key_items),
-        )
-        self._cache[key] = result
-        return result
+        levels = self._level
+        lows = self._low
+        highs = self._high
+        cache = self._cache
+        hits = 0
+        misses = 0
+        expand: List = [f]
+        phase = [0]
+        keys: List = [None]
+        results: List[int] = []
+        while expand:
+            task = expand.pop()
+            ph = phase.pop()
+            key = keys.pop()
+            if ph == 1:
+                high = results.pop()
+                low = results.pop()
+                lv, ckey = key
+                node = self._mk(lv, low, high)
+                cache[ckey] = node
+                results.append(node)
+                continue
+            if task < 2:
+                results.append(task)
+                continue
+            ckey = ("rename", task, key_items)
+            cached = cache.get(ckey)
+            if cached is not None:
+                hits += 1
+                results.append(cached)
+                continue
+            misses += 1
+            level = levels[task]
+            new_level = mapping.get(level, level)
+            expand.append(0)
+            phase.append(1)
+            keys.append((new_level, ckey))
+            expand.append(highs[task])
+            phase.append(0)
+            keys.append(None)
+            expand.append(lows[task])
+            phase.append(0)
+            keys.append(None)
+        self._count_cache("rename", hits, misses)
+        return results[-1]
 
     def permute(self, f: int, mapping: Dict[int, int]) -> int:
         """Rename variables by an arbitrary (possibly non-monotone) map.
@@ -383,23 +1136,57 @@ class Bdd:
         for new_index in targets:
             if not 0 <= new_index < self._num_vars:
                 raise ZenSolverError(f"unknown BDD variable {new_index}")
-        items = frozenset(mapping.items())
-        return self._permute(f, mapping, items)
+        t0 = self._begin("permute")
+        result = self._permute(f, mapping, frozenset(mapping.items()))
+        self._end("permute", t0)
+        return result
 
     def _permute(self, f: int, mapping: Dict[int, int], key_items) -> int:
-        if self.is_terminal(f):
-            return f
-        key = ("permute", f, key_items)
-        cached = self._cache.get(key)
-        if cached is not None:
-            return cached
-        level = self._level[f]
-        new_level = mapping.get(level, level)
-        low = self._permute(self._low[f], mapping, key_items)
-        high = self._permute(self._high[f], mapping, key_items)
-        result = self.ite(self.var(new_level), high, low)
-        self._cache[key] = result
-        return result
+        levels = self._level
+        lows = self._low
+        highs = self._high
+        cache = self._cache
+        hits = 0
+        misses = 0
+        expand: List = [f]
+        phase = [0]
+        keys: List = [None]
+        results: List[int] = []
+        while expand:
+            task = expand.pop()
+            ph = phase.pop()
+            key = keys.pop()
+            if ph == 1:
+                high = results.pop()
+                low = results.pop()
+                new_level, ckey = key
+                node = self._ite(self.var(new_level), high, low)
+                cache[ckey] = node
+                results.append(node)
+                continue
+            if task < 2:
+                results.append(task)
+                continue
+            ckey = ("permute", task, key_items)
+            cached = cache.get(ckey)
+            if cached is not None:
+                hits += 1
+                results.append(cached)
+                continue
+            misses += 1
+            level = levels[task]
+            new_level = mapping.get(level, level)
+            expand.append(0)
+            phase.append(1)
+            keys.append((new_level, ckey))
+            expand.append(highs[task])
+            phase.append(0)
+            keys.append(None)
+            expand.append(lows[task])
+            phase.append(0)
+            keys.append(None)
+        self._count_cache("permute", hits, misses)
+        return results[-1]
 
     # ------------------------------------------------------------------
     # Queries
@@ -451,31 +1238,40 @@ class Bdd:
     def sat_count(self, f: int, num_vars: Optional[int] = None) -> int:
         """Number of satisfying assignments over `num_vars` variables.
 
-        Defaults to the manager's full variable count.
+        Defaults to the manager's full variable count.  Iterative
+        post-order worklist, so counting over deep BDDs (wide packet
+        types) cannot hit the recursion limit.
         """
         if num_vars is None:
             num_vars = self._num_vars
-        memo: Dict[int, int] = {}
-
-        def count(node: int) -> int:
-            # Returns count over variables strictly below node's level.
-            if node == FALSE:
-                return 0
-            if node == TRUE:
-                return 1
-            cached = memo.get(node)
-            if cached is not None:
-                return cached
-            level = self._level[node]
-            low, high = self._low[node], self._high[node]
-            low_gap = (self._levels_below(low)) - level - 1
-            high_gap = (self._levels_below(high)) - level - 1
-            result = (count(low) << low_gap) + (count(high) << high_gap)
-            memo[node] = result
-            return result
-
-        top_gap = self._levels_below(f)
-        return count(f) << top_gap if f != FALSE else 0
+        if f == FALSE:
+            return 0
+        levels = self._level
+        lows = self._low
+        highs = self._high
+        # memo[node] = count over variables strictly below node's level.
+        memo: Dict[int, int] = {FALSE: 0, TRUE: 1}
+        stack = [f]
+        while stack:
+            node = stack[-1]
+            if node in memo:
+                stack.pop()
+                continue
+            low, high = lows[node], highs[node]
+            low_count = memo.get(low)
+            high_count = memo.get(high)
+            if low_count is None or high_count is None:
+                if low_count is None:
+                    stack.append(low)
+                if high_count is None:
+                    stack.append(high)
+                continue
+            level = levels[node]
+            low_gap = self._levels_below(low) - level - 1
+            high_gap = self._levels_below(high) - level - 1
+            memo[node] = (low_count << low_gap) + (high_count << high_gap)
+            stack.pop()
+        return memo[f] << self._levels_below(f)
 
     def _levels_below(self, node: int) -> int:
         if self.is_terminal(node):
@@ -534,11 +1330,17 @@ class Bdd:
     # ------------------------------------------------------------------
 
     def cube(self, literals: Dict[int, bool]) -> int:
-        """Conjunction of variable literals (index -> polarity)."""
+        """Conjunction of variable literals (index -> polarity).
+
+        Built bottom-up directly with ``_mk`` — a cube is a single
+        path, so no apply traversals are needed.
+        """
         result = TRUE
         for index in sorted(literals, reverse=True):
-            node = self.var(index) if literals[index] else self.nvar(index)
-            result = self.and_(node, result)
+            if literals[index]:
+                result = self._mk(index, FALSE, result)
+            else:
+                result = self._mk(index, result, FALSE)
         return result
 
     def from_function(
@@ -561,6 +1363,11 @@ class Bdd:
         """Drop the computed caches (unique table is kept)."""
         self._cache.clear()
         self._ite_cache.clear()
+        for opcache in self._apply_caches:
+            opcache.clear()
+        self._quantify_cache.clear()
+        self._and_exists_cache.clear()
+        self._neg_cache.clear()
 
     def to_dot(self, f: int, name: str = "bdd") -> str:
         """GraphViz DOT rendering of the graph rooted at `f`."""

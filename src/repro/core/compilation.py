@@ -16,6 +16,7 @@ compile fully).
 from __future__ import annotations
 
 import dataclasses
+import weakref
 from typing import Any, Callable, Dict, List
 
 from ..errors import ZenUnsupportedError
@@ -216,12 +217,26 @@ def _adapt_runtime(value, source, target):
     return result
 
 
+# Memoizes generated closures per ZenFunction: the body expression is
+# fixed at construction time, so codegen + exec is pure and repeated
+# compile() calls can reuse the first result.  Weak keys keep the cache
+# from pinning models alive.
+_COMPILED: "weakref.WeakKeyDictionary[Any, Callable[..., Any]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
 def compile_function(function) -> Callable[..., Any]:
     """Compile a ZenFunction's body to a plain Python function.
 
     The returned callable takes the same number of (concrete)
     arguments and computes the same results as ``function.evaluate``.
+    Results are cached per function object, so repeated calls return
+    the same closure without regenerating or re-``exec``-ing source.
     """
+    cached = _COMPILED.get(function)
+    if cached is not None:
+        return cached
     gen = _Codegen()
     result = gen.visit(function.body.expr)
     arg_names = ", ".join(f"arg{i}" for i in range(len(function.arg_types)))
@@ -235,4 +250,5 @@ def compile_function(function) -> Callable[..., Any]:
     compiled.__name__ = f"compiled_{function.name}"
     compiled.__doc__ = f"Compiled Zen model {function.name!r}."
     compiled._zen_source = source
+    _COMPILED[function] = compiled
     return compiled

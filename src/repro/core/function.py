@@ -35,12 +35,22 @@ from ..lang import expr as ex
 DEFAULT_MAX_LIST_LENGTH = 4
 
 
-def _make_backend(name: str):
-    if name == "sat":
+def _make_backend(backend):
+    """Resolve a backend name or pass an instance through.
+
+    Accepting instances lets callers keep one backend across queries to
+    read its accumulated statistics (``Bdd.stats()``,
+    ``SatBackend.statistics``).
+    """
+    if backend == "sat":
         return SatBackend()
-    if name == "bdd":
+    if backend == "bdd":
         return BddBackend()
-    raise ZenTypeError(f"unknown backend {name!r}; use 'sat' or 'bdd'")
+    if isinstance(backend, (SatBackend, BddBackend)):
+        return backend
+    raise ZenTypeError(
+        f"unknown backend {backend!r}; use 'sat', 'bdd', or an instance"
+    )
 
 
 class ZenFunction:
@@ -115,7 +125,7 @@ class ZenFunction:
     def find(
         self,
         predicate: Optional[Callable[..., Zen]] = None,
-        backend: str = "sat",
+        backend: Any = "sat",
         max_list_length: int = DEFAULT_MAX_LIST_LENGTH,
     ) -> Optional[Tuple[Any, ...]]:
         """Search for inputs whose run satisfies `predicate`.
@@ -126,6 +136,9 @@ class ZenFunction:
         to hold.  Returns a tuple of concrete inputs, a single value
         for unary functions, or None when no input exists (up to the
         list-length bound).
+
+        `backend` is ``"sat"``, ``"bdd"``, or a backend instance
+        (reusable across queries, e.g. to accumulate statistics).
         """
         engine = _make_backend(backend)
         evaluator = SymbolicEvaluator(
@@ -167,7 +180,7 @@ class ZenFunction:
     def verify(
         self,
         invariant: Callable[..., Zen],
-        backend: str = "sat",
+        backend: Any = "sat",
         max_list_length: int = DEFAULT_MAX_LIST_LENGTH,
     ) -> Optional[Tuple[Any, ...]]:
         """Check that `invariant` holds on all inputs.
@@ -205,7 +218,11 @@ class ZenFunction:
         )
 
     def compile(self) -> Callable[..., Any]:
-        """Extract a plain Python implementation of the model."""
+        """Extract a plain Python implementation of the model.
+
+        Compilation is memoized: repeated calls return the same
+        closure without regenerating source.
+        """
         from .compilation import compile_function
 
         return compile_function(self)

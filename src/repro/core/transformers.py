@@ -600,8 +600,9 @@ class StateSetTransformer:
         shifted = manager.rename(
             input_set.node, dict(zip(in_space.levels, self.in_levels))
         )
-        conj = manager.and_(shifted, self.relation)
-        image = manager.exists(conj, self.in_levels)
+        # Fused relational product: never materializes the full
+        # conjunction of the input set with the relation.
+        image = manager.and_exists(shifted, self.relation, self.in_levels)
         # Private output variables -> canonical.  Output levels are not
         # ascending in allocation order (the ordering analysis scatters
         # them), so this needs the general permute.
@@ -623,8 +624,7 @@ class StateSetTransformer:
         shifted = manager.permute(
             output_set.node, dict(zip(out_space.levels, self.out_levels))
         )
-        conj = manager.and_(shifted, self.relation)
-        pre = manager.exists(conj, self.out_levels)
+        pre = manager.and_exists(shifted, self.relation, self.out_levels)
         result = manager.rename(
             pre, dict(zip(self.in_levels, in_space.levels))
         )
@@ -676,8 +676,7 @@ class StateSetTransformer:
         right = manager.permute(
             other.relation, dict(zip(other.in_levels, aux_levels))
         )
-        conj = manager.and_(left, right)
-        composed = manager.exists(conj, aux_levels)
+        composed = manager.and_exists(left, right, aux_levels)
         return StateSetTransformer(
             self.context,
             self.input_type,

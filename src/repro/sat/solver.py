@@ -131,6 +131,12 @@ class Solver:
             "learned": len(self._learned),
         }
 
+    def reset_statistics(self) -> None:
+        """Zero the search counters (learned clauses are kept)."""
+        self._conflicts = 0
+        self._decisions = 0
+        self._propagations = 0
+
     def new_var(self) -> int:
         """Allocate a fresh variable and return its (positive) index."""
         self._num_vars += 1

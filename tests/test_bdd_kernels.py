@@ -1,0 +1,394 @@
+"""Tests for the dedicated BDD kernels and the op-level stats layer.
+
+Property tests use a seeded random-formula generator over ~8 variables
+and assert the new kernels agree with their seed formulations:
+
+* ``and_exists(f, g, V) == exists(and_(f, g), V)``;
+* the binary apply kernels match their ``ite`` definitions;
+* balanced ``and_many``/``or_many`` match linear folds.
+
+Regression tests pin the iterative kernels' immunity to Python's
+recursion limit on deep (5000-level) chain BDDs, the fused image path
+in the transformer, and the compile/statistics caches.
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+
+import pytest
+
+from repro import Byte, ZenFunction
+from repro.backends import SatBackend
+from repro.bdd import FALSE, TRUE, Bdd, BddStats
+from repro.core.compilation import compile_function
+from repro.core.transformers import TransformerContext
+from repro.sat import Solver
+
+NUM_VARS = 8
+NUM_CASES = 60
+
+
+def random_formula(manager: Bdd, rng: random.Random, depth: int = 3) -> int:
+    if depth == 0:
+        index = rng.randrange(NUM_VARS)
+        return manager.var(index) if rng.random() < 0.5 else manager.nvar(index)
+    left = random_formula(manager, rng, depth - 1)
+    right = random_formula(manager, rng, depth - 1)
+    op = rng.randrange(4)
+    if op == 0:
+        return manager.and_(left, right)
+    if op == 1:
+        return manager.or_(left, right)
+    if op == 2:
+        return manager.xor(left, right)
+    return manager.not_(left)
+
+
+@pytest.fixture
+def manager():
+    m = Bdd()
+    m.new_vars(NUM_VARS)
+    return m
+
+
+class TestApplyKernels:
+    def test_apply_matches_ite_formulations(self, manager):
+        rng = random.Random(11)
+        for _ in range(NUM_CASES):
+            f = random_formula(manager, rng)
+            g = random_formula(manager, rng)
+            assert manager.and_(f, g) == manager.ite(f, g, FALSE)
+            assert manager.or_(f, g) == manager.ite(f, TRUE, g)
+            assert manager.xor(f, g) == manager.ite(
+                f, manager.not_(g), g
+            )
+            assert manager.iff(f, g) == manager.ite(
+                f, g, manager.not_(g)
+            )
+
+    def test_not_is_involution(self, manager):
+        rng = random.Random(12)
+        for _ in range(NUM_CASES):
+            f = random_formula(manager, rng)
+            assert manager.not_(manager.not_(f)) == f
+
+    def test_commutative_cache_normalization(self, manager):
+        rng = random.Random(13)
+        f = random_formula(manager, rng, depth=4)
+        g = random_formula(manager, rng, depth=4)
+        manager.clear_cache()
+        manager.reset_stats()
+        first = manager.and_(f, g)
+        misses_after_first = manager.stats().cache_misses.get("and", 0)
+        second = manager.and_(g, f)
+        assert first == second
+        # The reversed call found every expansion in the cache: no new
+        # misses, at least one hit.
+        stats = manager.stats()
+        assert stats.cache_misses.get("and", 0) == misses_after_first
+        assert stats.cache_hits.get("and", 0) >= 1
+
+    def test_terminal_shortcuts(self, manager):
+        x = manager.var(0)
+        assert manager.and_(x, FALSE) == FALSE
+        assert manager.and_(TRUE, x) == x
+        assert manager.or_(x, TRUE) == TRUE
+        assert manager.or_(FALSE, x) == x
+        assert manager.xor(x, x) == FALSE
+        assert manager.xor(x, FALSE) == x
+        assert manager.xor(x, TRUE) == manager.not_(x)
+
+
+class TestBalancedReduction:
+    def test_and_many_matches_linear_fold(self, manager):
+        rng = random.Random(21)
+        for _ in range(20):
+            nodes = [
+                random_formula(manager, rng, depth=2) for _ in range(7)
+            ]
+            expected = TRUE
+            for node in nodes:
+                expected = manager.ite(expected, node, FALSE)
+            assert manager.and_many(nodes) == expected
+
+    def test_or_many_matches_linear_fold(self, manager):
+        rng = random.Random(22)
+        for _ in range(20):
+            nodes = [
+                random_formula(manager, rng, depth=2) for _ in range(7)
+            ]
+            expected = FALSE
+            for node in nodes:
+                expected = manager.ite(expected, TRUE, node)
+            assert manager.or_many(nodes) == expected
+
+    def test_empty_and_singleton(self, manager):
+        x = manager.var(3)
+        assert manager.and_many([]) == TRUE
+        assert manager.or_many([]) == FALSE
+        assert manager.and_many([x]) == x
+        assert manager.or_many([x]) == x
+        assert manager.and_many(iter([x, FALSE, x])) == FALSE
+        assert manager.or_many(iter([x, TRUE])) == TRUE
+
+
+class TestAndExists:
+    def test_matches_unfused_formulation(self, manager):
+        rng = random.Random(31)
+        for _ in range(NUM_CASES):
+            f = random_formula(manager, rng)
+            g = random_formula(manager, rng)
+            variables = rng.sample(range(NUM_VARS), k=rng.randrange(1, 5))
+            fused = manager.and_exists(f, g, variables)
+            unfused = manager.exists(manager.and_(f, g), variables)
+            assert fused == unfused
+
+    def test_empty_quantifier_set_is_plain_and(self, manager):
+        rng = random.Random(32)
+        f = random_formula(manager, rng)
+        g = random_formula(manager, rng)
+        assert manager.and_exists(f, g, []) == manager.and_(f, g)
+
+    def test_terminal_operands(self, manager):
+        x, y = manager.var(0), manager.var(1)
+        conj = manager.and_(x, y)
+        assert manager.and_exists(FALSE, x, [0]) == FALSE
+        assert manager.and_exists(TRUE, conj, [0]) == manager.exists(
+            conj, [0]
+        )
+        assert manager.and_exists(conj, conj, [0]) == manager.exists(
+            conj, [0]
+        )
+
+    def test_quantify_caches_both_exit_paths(self, manager):
+        # Regression for the seed bug: _quantify returned without
+        # caching on its early-exit paths and recomputed max(levels)
+        # per call.  Quantifying twice must hit the cache.
+        rng = random.Random(33)
+        f = random_formula(manager, rng, depth=4)
+        manager.clear_cache()
+        manager.reset_stats()
+        first = manager.exists(f, [0, 1])
+        misses = manager.stats().cache_misses.get("exists", 0)
+        second = manager.exists(f, [0, 1])
+        assert first == second
+        assert manager.stats().cache_misses.get("exists", 0) == misses
+        assert manager.stats().cache_hits.get("exists", 0) >= 1
+
+    def test_forall_matches_unfused(self, manager):
+        rng = random.Random(34)
+        for _ in range(20):
+            f = random_formula(manager, rng)
+            variables = rng.sample(range(NUM_VARS), k=2)
+            negated = manager.not_(
+                manager.exists(manager.not_(f), variables)
+            )
+            assert manager.forall(f, variables) == negated
+
+
+class TestDeepBdds:
+    """The iterative kernels must survive BDDs deeper than the
+    recursion limit (e.g. 32-bit × several-field packet types)."""
+
+    DEPTH = 5000
+
+    @pytest.fixture
+    def chain(self):
+        m = Bdd()
+        m.new_vars(self.DEPTH)
+        # A conjunction of all variables: one node per level.
+        root = m.cube({i: True for i in range(self.DEPTH)})
+        return m, root
+
+    def test_exists_on_deep_chain(self, chain):
+        m, root = chain
+        assert self.DEPTH > sys.getrecursionlimit()
+        quantified = m.exists(root, range(0, self.DEPTH, 2))
+        assert quantified == m.cube(
+            {i: True for i in range(1, self.DEPTH, 2)}
+        )
+
+    def test_sat_count_on_deep_chain(self, chain):
+        m, root = chain
+        assert m.sat_count(root) == 1
+
+    def test_apply_on_deep_chains(self, chain):
+        m, root = chain
+        other = m.cube({i: True for i in range(1, self.DEPTH)})
+        assert m.and_(root, other) == root
+        assert m.or_(root, other) == other
+        assert m.not_(m.not_(root)) == root
+
+    def test_restrict_and_rename_on_deep_chain(self, chain):
+        m, root = chain
+        restricted = m.restrict(
+            root, {i: True for i in range(0, self.DEPTH, 2)}
+        )
+        assert restricted == m.cube(
+            {i: True for i in range(1, self.DEPTH, 2)}
+        )
+        m.new_var()
+        shifted = m.rename(root, {i: i + 1 for i in range(self.DEPTH)})
+        assert shifted == m.cube(
+            {i + 1: True for i in range(self.DEPTH)}
+        )
+
+    def test_and_exists_on_deep_chain(self, chain):
+        m, root = chain
+        result = m.and_exists(root, root, range(0, self.DEPTH, 2))
+        assert result == m.cube(
+            {i: True for i in range(1, self.DEPTH, 2)}
+        )
+
+
+class TestStats:
+    def test_counters_and_peak(self, manager):
+        manager.reset_stats()
+        rng = random.Random(41)
+        f = random_formula(manager, rng, depth=4)
+        g = random_formula(manager, rng, depth=4)
+        manager.and_(f, g)
+        manager.exists(f, [0, 2])
+        manager.and_exists(f, g, [1, 3])
+        stats = manager.stats()
+        assert isinstance(stats, BddStats)
+        assert stats.calls["and"] >= 1
+        assert stats.calls["exists"] == 1
+        assert stats.calls["and_exists"] == 1
+        assert stats.peak_nodes >= stats.node_count > 2
+        payload = stats.as_dict()
+        assert set(payload) == {
+            "calls",
+            "cache_hits",
+            "cache_misses",
+            "cache_hit_rate",
+            "op_time",
+            "peak_nodes",
+            "node_count",
+        }
+        assert "and" in stats.summary()
+
+    def test_reset(self, manager):
+        manager.and_(manager.var(0), manager.var(1))
+        manager.reset_stats()
+        assert manager.stats().calls == {}
+
+    def test_timing_gated(self, manager):
+        rng = random.Random(42)
+        f = random_formula(manager, rng, depth=4)
+        g = random_formula(manager, rng, depth=4)
+        manager.reset_stats()
+        manager.and_(f, g)
+        assert manager.stats().op_time == {}
+        manager.enable_timing()
+        manager.clear_cache()
+        manager.and_(f, g)
+        manager.enable_timing(False)
+        assert manager.stats().op_time.get("and", 0.0) > 0.0
+
+
+class TestFusedTransformerPath:
+    def test_forward_image_uses_and_exists(self):
+        context = TransformerContext()
+        f = ZenFunction(lambda x: x + 1, [Byte], name="inc")
+        transformer = f.transformer(context=context)
+        some = context.from_predicate(
+            ZenFunction(lambda x: x < 10, [Byte], name="small")
+        )
+        manager = context.manager
+        manager.reset_stats()
+        image = transformer.transform_forward(some)
+        stats = manager.stats()
+        # The fused kernel ran; the standalone exists (which would
+        # imply a materialized conjunction) did not.
+        assert stats.calls.get("and_exists", 0) == 1
+        assert stats.calls.get("exists", 0) == 0
+        assert stats.calls.get("and", 0) == 0
+        assert not image.is_empty()
+
+        manager.reset_stats()
+        pre = transformer.transform_reverse(image)
+        stats = manager.stats()
+        assert stats.calls.get("and_exists", 0) == 1
+        assert stats.calls.get("exists", 0) == 0
+        assert not pre.is_empty()
+
+    def test_compose_uses_and_exists(self):
+        context = TransformerContext()
+        inc = ZenFunction(lambda x: x + 1, [Byte], name="inc")
+        dbl = ZenFunction(lambda x: x * 2, [Byte], name="dbl")
+        t_inc = inc.transformer(context=context)
+        t_dbl = dbl.transformer(context=context)
+        manager = context.manager
+        manager.reset_stats()
+        composed = t_inc.compose(t_dbl)
+        assert manager.stats().calls.get("and_exists", 0) == 1
+        assert manager.stats().calls.get("exists", 0) == 0
+        singleton = context.singleton(Byte, 3)
+        assert composed.transform_forward(singleton).element() == 8
+
+    def test_fused_image_matches_unfused(self):
+        context = TransformerContext()
+        f = ZenFunction(lambda x: x & 0x0F, [Byte], name="mask")
+        transformer = f.transformer(context=context)
+        input_set = context.from_predicate(
+            ZenFunction(lambda x: x > 100, [Byte], name="big")
+        )
+        manager = context.manager
+        in_space = context.space(transformer.input_type)
+        shifted = manager.rename(
+            input_set.node,
+            dict(zip(in_space.levels, transformer.in_levels)),
+        )
+        fused = manager.and_exists(
+            shifted, transformer.relation, transformer.in_levels
+        )
+        unfused = manager.exists(
+            manager.and_(shifted, transformer.relation),
+            transformer.in_levels,
+        )
+        assert fused == unfused
+
+
+class TestCompileCache:
+    def test_compile_is_memoized(self):
+        f = ZenFunction(lambda x: x + 1, [Byte], name="inc")
+        assert f.compile() is f.compile()
+        assert compile_function(f) is f.compile()
+
+    def test_distinct_functions_not_shared(self):
+        f = ZenFunction(lambda x: x + 1, [Byte], name="inc")
+        g = ZenFunction(lambda x: x + 2, [Byte], name="inc2")
+        assert f.compile() is not g.compile()
+        assert f.compile()(1) == 2
+        assert g.compile()(1) == 3
+
+
+class TestSolverStatistics:
+    def test_reset_statistics(self):
+        s = Solver()
+        a, b = s.new_var(), s.new_var()
+        s.add_clause([a, b])
+        s.add_clause([-a, b])
+        assert s.solve()
+        assert s.statistics["propagations"] >= 0
+        s.reset_statistics()
+        stats = s.statistics
+        assert stats["conflicts"] == 0
+        assert stats["decisions"] == 0
+        assert stats["propagations"] == 0
+
+    def test_backend_accumulates_across_solves(self):
+        backend = SatBackend()
+        f = ZenFunction(lambda x: x > 5, [Byte], name="gt5")
+        assert f.find(backend=backend) is not None
+        after_one = backend.statistics
+        assert after_one["solves"] == 1
+        assert f.find(backend=backend) is not None
+        after_two = backend.statistics
+        assert after_two["solves"] == 2
+        assert after_two["decisions"] >= after_one["decisions"]
+        backend.reset_statistics()
+        assert backend.statistics["solves"] == 0
