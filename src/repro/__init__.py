@@ -30,6 +30,10 @@ Quickstart::
 
 from .core import (
     DEFAULT_MAX_LIST_LENGTH,
+    Budget,
+    BudgetMeter,
+    InputSuite,
+    QueryResult,
     StateSet,
     StateSetTransformer,
     TransformerContext,
@@ -38,15 +42,18 @@ from .core import (
     default_context,
     generate_inputs,
     reset_default_context,
+    solve_with_fallback,
     zen_function,
 )
 from .errors import (
     ZenArityError,
+    ZenBudgetExceeded,
     ZenDepthError,
     ZenError,
     ZenEvaluationError,
     ZenSolverError,
     ZenTypeError,
+    ZenUnsoundResultError,
     ZenUnsupportedError,
 )
 from .lang import (
@@ -102,6 +109,12 @@ __all__ = [
     "generate_inputs",
     "compile_function",
     "DEFAULT_MAX_LIST_LENGTH",
+    # resource governance
+    "Budget",
+    "BudgetMeter",
+    "QueryResult",
+    "solve_with_fallback",
+    "InputSuite",
     # language
     "Zen",
     "if_",
@@ -147,4 +160,6 @@ __all__ = [
     "ZenEvaluationError",
     "ZenUnsupportedError",
     "ZenDepthError",
+    "ZenBudgetExceeded",
+    "ZenUnsoundResultError",
 ]

@@ -44,6 +44,20 @@ class BddBackend:
         """The underlying BDD manager."""
         return self._manager
 
+    def set_budget(self, budget) -> None:
+        """Install (or clear) a budget meter on the manager.
+
+        BDD queries spend their time *building* the constraint (the
+        solve itself is a linear sat-path walk), so the meter lives on
+        the manager where every kernel checkpoints against it.
+        """
+        self._manager.set_budget(budget)
+
+    @property
+    def budget(self):
+        """The installed budget meter, or None."""
+        return self._manager.budget
+
     def true(self) -> Bit:
         return TRUE
 
@@ -84,4 +98,7 @@ class BddBackend:
         assignment = self._manager.any_sat(constraint)
         if assignment is None:
             return None
+        meter = self._manager.budget
+        if meter is not None:
+            meter.on_model()
         return BddModel(self._manager, assignment)

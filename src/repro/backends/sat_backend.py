@@ -36,6 +36,10 @@ class SatBackend:
 
     def __init__(self) -> None:
         self._aig = Aig()
+        self._budget = None
+        # True when the last solve_all hit its limit with models left,
+        # False when it enumerated exhaustively, None before any run.
+        self.last_enumeration_truncated = None
         self._stats = {
             "solves": 0,
             "conflicts": 0,
@@ -43,6 +47,22 @@ class SatBackend:
             "propagations": 0,
             "learned": 0,
         }
+
+    def set_budget(self, budget) -> None:
+        """Install (or clear) a budget meter for subsequent solves.
+
+        The meter is handed to the CDCL solver of every solve on this
+        backend; circuit (AIG) construction itself is uninstrumented —
+        it is linear in the model, the search is what can diverge.
+        """
+        if budget is not None and not hasattr(budget, "on_conflict"):
+            budget = budget.start()
+        self._budget = budget
+
+    @property
+    def budget(self):
+        """The installed budget meter, or None."""
+        return self._budget
 
     @property
     def aig(self) -> Aig:
@@ -108,10 +128,14 @@ class SatBackend:
         if constraint == FALSE_LIT:
             return None
         mapping, _ = encode(self._aig, [constraint])
-        satisfiable = mapping.solver.solve()
-        self._accumulate(mapping.solver)
+        try:
+            satisfiable = mapping.solver.solve(budget=self._budget)
+        finally:
+            self._accumulate(mapping.solver)
         if not satisfiable:
             return None
+        if self._budget is not None:
+            self._budget.on_model()
         input_values = {
             lit: mapping.model_value(lit) for lit in self._aig.inputs
         }
@@ -121,15 +145,25 @@ class SatBackend:
         """Enumerate models projected onto the given input bits.
 
         Yields :class:`SatModel`-compatible snapshots; used by test
-        input generation.  `limit` bounds the number of models.
+        input generation.  `limit` bounds the number of models; when
+        it cuts enumeration off, one extra (blocked) solve decides
+        whether models were left behind and
+        :attr:`last_enumeration_truncated` records the exact answer.
         """
+        self.last_enumeration_truncated = None
         if constraint == FALSE_LIT:
+            self.last_enumeration_truncated = False
             return
         mapping, _ = encode(self._aig, [constraint])
         solver = mapping.solver
         produced = 0
         try:
-            while produced < limit and solver.solve():
+            while produced < limit:
+                if not solver.solve(budget=self._budget):
+                    self.last_enumeration_truncated = False
+                    return
+                if self._budget is not None:
+                    self._budget.on_model()
                 snapshot = {bit: mapping.model_value(bit) for bit in over}
                 yield _FixedModel(snapshot)
                 produced += 1
@@ -140,7 +174,9 @@ class SatBackend:
                         continue
                     blocking.append(-lit if snapshot[bit] else lit)
                 if not blocking or not solver.add_clause(blocking):
+                    self.last_enumeration_truncated = False
                     return
+            self.last_enumeration_truncated = solver.solve(budget=self._budget)
         finally:
             self._accumulate(solver)
 

@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from ..bdd import Bdd
+from ..core.budget import start_meter
 from ..network.acl import Acl, AclRule
 from ..network.packet import Header
 
@@ -33,8 +34,11 @@ _FIELDS = (
 class BatfishAclEncoder:
     """Encodes an ACL into BDDs over a dedicated manager."""
 
-    def __init__(self) -> None:
+    def __init__(self, budget=None) -> None:
         self.manager = Bdd()
+        meter = start_meter(budget)
+        if meter is not None:
+            self.manager.set_budget(meter)
         self._field_vars: Dict[str, List[int]] = {}
         for name, width in _FIELDS:
             # MSB-first var order within each field: prefix matches
@@ -148,12 +152,17 @@ class BatfishAclEncoder:
         return Header(**values)
 
 
-def find_packet_matching_last_line(acl: Acl) -> Optional[Header]:
+def find_packet_matching_last_line(
+    acl: Acl, budget=None
+) -> Optional[Header]:
     """The Figure-10 query: a packet whose first match is the last line.
 
     Returns a concrete header, or None when the last line is dead.
+    `budget` bounds the whole encode-and-solve (the baseline plays by
+    the same resource-governance rules as the Zen pipeline it is
+    compared against).
     """
-    encoder = BatfishAclEncoder()
+    encoder = BatfishAclEncoder(budget=budget)
     lines = encoder.match_line_bdds(acl)
     target = lines[-1]
     assignment = encoder.manager.any_sat(target)

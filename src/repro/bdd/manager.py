@@ -182,6 +182,44 @@ class Bdd:
         self._stats = BddStats()
         self._timing = False
         self._timing_depth = 0
+        # Cooperative resource governance (duck-typed BudgetMeter; the
+        # manager never imports repro.core.budget).  Kernels tick every
+        # 1024 work-stack iterations, bounding both node-cap overshoot
+        # and deadline latency while costing the unmetered hot path one
+        # add + compare per expansion.
+        self._budget = None
+        self._node_cap: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Resource governance
+    # ------------------------------------------------------------------
+
+    @property
+    def budget(self):
+        """The installed budget meter, or None."""
+        return self._budget
+
+    def set_budget(self, budget) -> None:
+        """Install (or clear, with None) a budget meter on the manager.
+
+        Accepts a :class:`repro.core.budget.Budget` or a running
+        meter.  ``max_bdd_nodes`` caps the manager's *cumulative*
+        allocation count (the unique table is append-only, so that is
+        the quantity that exhausts memory).  The install fails fast —
+        before replacing any previous meter — when the manager is
+        already over the node cap.
+        """
+        if budget is not None and not hasattr(budget, "tick"):
+            budget = budget.start()
+        if budget is not None:
+            budget.tick(len(self._level))
+        self._budget = budget
+        # Cache the numeric node cap so _mk can trip it exactly at the
+        # crossing allocation (the periodic ticks alone would let small
+        # workloads finish entirely between checkpoints).
+        self._node_cap = getattr(
+            getattr(budget, "budget", None), "max_bdd_nodes", None
+        )
 
     # ------------------------------------------------------------------
     # Statistics
@@ -301,6 +339,15 @@ class Bdd:
             self._low.append(low)
             self._high.append(high)
             self._unique[key] = node
+            # Allocation-time checkpoint: workloads made of many small
+            # kernels never reach the per-kernel tick interval, so the
+            # node cap is enforced here — exactly at the crossing
+            # allocation, plus a periodic deadline check.
+            if self._budget is not None and (
+                (self._node_cap is not None and node >= self._node_cap)
+                or not (node & 255)
+            ):
+                self._budget.tick(node + 1)
         return node
 
     # ------------------------------------------------------------------
@@ -355,7 +402,12 @@ class Bdd:
         phase = [0]
         keys: List = [None]
         results: List[int] = []
+        meter = self._budget
+        ticks = 0
         while expand:
+            ticks += 1
+            if meter is not None and not (ticks & 1023):
+                meter.tick(len(levels))
             task = expand.pop()
             ph = phase.pop()
             key = keys.pop()
@@ -464,7 +516,12 @@ class Bdd:
         phase = [0]
         keys: List = [None]
         results: List[int] = []
+        meter = self._budget
+        ticks = 0
         while expand:
+            ticks += 1
+            if meter is not None and not (ticks & 1023):
+                meter.tick(len(levels))
             task = expand.pop()
             ph = phase.pop()
             key = keys.pop()
@@ -573,7 +630,12 @@ class Bdd:
         phase = [0]
         keys: List = [None]
         results: List[int] = []
+        meter = self._budget
+        ticks = 0
         while expand:
+            ticks += 1
+            if meter is not None and not (ticks & 1023):
+                meter.tick(len(levels))
             task = expand.pop()
             ph = phase.pop()
             key = keys.pop()
@@ -768,7 +830,12 @@ class Bdd:
         phase = [0]
         keys: List = [None]
         results: List[int] = []
+        meter = self._budget
+        ticks = 0
         while expand:
+            ticks += 1
+            if meter is not None and not (ticks & 1023):
+                meter.tick(len(levels))
             task = expand.pop()
             ph = phase.pop()
             key = keys.pop()
@@ -877,7 +944,12 @@ class Bdd:
         phase = [0]
         keys: List = [None]
         results: List[int] = []
+        meter = self._budget
+        ticks = 0
         while expand:
+            ticks += 1
+            if meter is not None and not (ticks & 1023):
+                meter.tick(len(levels))
             task = expand.pop()
             ph = phase.pop()
             key = keys.pop()
@@ -999,7 +1071,12 @@ class Bdd:
         phase = [0]
         keys: List = [None]
         results: List[int] = []
+        meter = self._budget
+        ticks = 0
         while expand:
+            ticks += 1
+            if meter is not None and not (ticks & 1023):
+                meter.tick(len(levels))
             task = expand.pop()
             ph = phase.pop()
             key = keys.pop()
@@ -1085,7 +1162,12 @@ class Bdd:
         phase = [0]
         keys: List = [None]
         results: List[int] = []
+        meter = self._budget
+        ticks = 0
         while expand:
+            ticks += 1
+            if meter is not None and not (ticks & 1023):
+                meter.tick(len(levels))
             task = expand.pop()
             ph = phase.pop()
             key = keys.pop()
@@ -1152,7 +1234,12 @@ class Bdd:
         phase = [0]
         keys: List = [None]
         results: List[int] = []
+        meter = self._budget
+        ticks = 0
         while expand:
+            ticks += 1
+            if meter is not None and not (ticks & 1023):
+                meter.tick(len(levels))
             task = expand.pop()
             ph = phase.pop()
             key = keys.pop()
@@ -1252,7 +1339,12 @@ class Bdd:
         # memo[node] = count over variables strictly below node's level.
         memo: Dict[int, int] = {FALSE: 0, TRUE: 1}
         stack = [f]
+        meter = self._budget
+        ticks = 0
         while stack:
+            ticks += 1
+            if meter is not None and not (ticks & 1023):
+                meter.tick(len(levels))
             node = stack[-1]
             if node in memo:
                 stack.pop()

@@ -1,6 +1,14 @@
 """Core analysis API: ZenFunction, state sets, test generation,
 compilation."""
 
+from .budget import (
+    Budget,
+    BudgetMeter,
+    QueryResult,
+    metered,
+    solve_with_fallback,
+    start_meter,
+)
 from .compilation import compile_function
 from .function import DEFAULT_MAX_LIST_LENGTH, ZenFunction, zen_function
 from .modelcheck import (
@@ -10,7 +18,7 @@ from .modelcheck import (
     check_invariant,
     reachable_states,
 )
-from .testgen import generate_inputs
+from .testgen import InputSuite, generate_inputs
 from .transformers import (
     StateSet,
     StateSetTransformer,
@@ -24,6 +32,13 @@ __all__ = [
     "ZenFunction",
     "zen_function",
     "DEFAULT_MAX_LIST_LENGTH",
+    "Budget",
+    "BudgetMeter",
+    "QueryResult",
+    "solve_with_fallback",
+    "start_meter",
+    "metered",
+    "InputSuite",
     "StateSet",
     "StateSetTransformer",
     "TransformerContext",

@@ -28,9 +28,10 @@ from ..backends import (
     decode,
 )
 from ..backends import values as sv
-from ..errors import ZenArityError, ZenTypeError
-from ..lang import Zen, types as ty
+from ..errors import ZenArityError, ZenTypeError, ZenUnsoundResultError
+from ..lang import Zen, constant, types as ty
 from ..lang import expr as ex
+from .budget import start_meter
 
 DEFAULT_MAX_LIST_LENGTH = 4
 
@@ -127,6 +128,8 @@ class ZenFunction:
         predicate: Optional[Callable[..., Zen]] = None,
         backend: Any = "sat",
         max_list_length: int = DEFAULT_MAX_LIST_LENGTH,
+        budget: Any = None,
+        validate: bool = True,
     ) -> Optional[Tuple[Any, ...]]:
         """Search for inputs whose run satisfies `predicate`.
 
@@ -139,82 +142,148 @@ class ZenFunction:
 
         `backend` is ``"sat"``, ``"bdd"``, or a backend instance
         (reusable across queries, e.g. to accumulate statistics).
+
+        `budget` is an optional :class:`~repro.core.budget.Budget` (or
+        running meter); the query raises
+        :class:`~repro.errors.ZenBudgetExceeded` on exhaustion.  With
+        `validate` (the default), any model found is replayed through
+        the concrete evaluator before being returned, so a latent
+        encoding bug in a backend raises
+        :class:`~repro.errors.ZenUnsoundResultError` instead of
+        silently yielding a wrong input.
         """
         engine = _make_backend(backend)
-        evaluator = SymbolicEvaluator(
-            engine, max_list_length=max_list_length
-        )
-        sym_args = [
-            evaluator.fresh_input(f"arg{i}", t)
-            for i, t in enumerate(self._arg_types)
-        ]
-        result_value = evaluator.evaluate(self._body.expr)
-        if predicate is None:
-            if not isinstance(self.return_type, ty.BoolType):
-                raise ZenTypeError(
-                    "find without a predicate needs a boolean-valued "
-                    "function"
-                )
-            constraint_value = result_value
-        else:
-            lifted_args = [
-                Zen(ex.Lifted(sym, t, evaluator))
-                for sym, t in zip(sym_args, self._arg_types)
-            ]
-            lifted_result = Zen(
-                ex.Lifted(result_value, self.return_type, evaluator)
+        meter = start_meter(budget)
+        if meter is not None:
+            engine.set_budget(meter)
+        try:
+            evaluator = SymbolicEvaluator(
+                engine, max_list_length=max_list_length
             )
-            prop = predicate(*lifted_args, lifted_result)
-            if not isinstance(prop, Zen) or not isinstance(
-                prop.type, ty.BoolType
-            ):
-                raise ZenTypeError("find predicate must return Zen<bool>")
-            constraint_value = evaluator.evaluate(prop.expr)
-        assert isinstance(constraint_value, sv.SymBool)
-        model = engine.solve(constraint_value.bit)
+            sym_args = [
+                evaluator.fresh_input(f"arg{i}", t)
+                for i, t in enumerate(self._arg_types)
+            ]
+            result_value = evaluator.evaluate(self._body.expr)
+            if predicate is None:
+                if not isinstance(self.return_type, ty.BoolType):
+                    raise ZenTypeError(
+                        "find without a predicate needs a boolean-valued "
+                        "function"
+                    )
+                constraint_value = result_value
+            else:
+                lifted_args = [
+                    Zen(ex.Lifted(sym, t, evaluator))
+                    for sym, t in zip(sym_args, self._arg_types)
+                ]
+                lifted_result = Zen(
+                    ex.Lifted(result_value, self.return_type, evaluator)
+                )
+                prop = predicate(*lifted_args, lifted_result)
+                if not isinstance(prop, Zen) or not isinstance(
+                    prop.type, ty.BoolType
+                ):
+                    raise ZenTypeError("find predicate must return Zen<bool>")
+                constraint_value = evaluator.evaluate(prop.expr)
+            assert isinstance(constraint_value, sv.SymBool)
+            model = engine.solve(constraint_value.bit)
+        finally:
+            if meter is not None:
+                engine.set_budget(None)
         if model is None:
             return None
         decoded = tuple(decode(model, arg) for arg in sym_args)
+        if validate:
+            self._validate_model(decoded, predicate, backend)
         return decoded[0] if len(decoded) == 1 else decoded
+
+    def _validate_model(
+        self,
+        decoded: Tuple[Any, ...],
+        predicate: Optional[Callable[..., Zen]],
+        backend: Any,
+    ) -> None:
+        """Replay a solver model through the concrete backend.
+
+        The concrete evaluator shares no code with the bitblaster or
+        the BDD encoder, so agreement here is an end-to-end soundness
+        check of the whole symbolic pipeline for this model.
+        """
+        name = backend if isinstance(backend, str) else type(backend).__name__
+        result = self.evaluate(*decoded)
+        if predicate is None:
+            satisfied = result is True
+        else:
+            const_args = [
+                constant(value, t)
+                for value, t in zip(decoded, self._arg_types)
+            ]
+            prop = predicate(*const_args, constant(result, self.return_type))
+            satisfied = ConcreteEvaluator({}).evaluate(prop.expr) is True
+        if not satisfied:
+            raise ZenUnsoundResultError(
+                f"{name} backend returned a model of {self.name} that "
+                f"fails concrete replay: {decoded!r} (the symbolic "
+                "encoding and the concrete evaluator disagree)",
+                model=decoded,
+                backend=name,
+            )
 
     def verify(
         self,
         invariant: Callable[..., Zen],
         backend: Any = "sat",
         max_list_length: int = DEFAULT_MAX_LIST_LENGTH,
+        budget: Any = None,
+        validate: bool = True,
     ) -> Optional[Tuple[Any, ...]]:
         """Check that `invariant` holds on all inputs.
 
         Returns None when verified, else a counterexample input (the
-        negation handed to :meth:`find`).
+        negation handed to :meth:`find`, so counterexamples are
+        concrete-replay-validated and budgets apply unchanged).
         """
         def negated(*zs: Zen) -> Zen:
             return ~invariant(*zs)
 
         return self.find(
-            negated, backend=backend, max_list_length=max_list_length
+            negated,
+            backend=backend,
+            max_list_length=max_list_length,
+            budget=budget,
+            validate=validate,
         )
 
     # ------------------------------------------------------------------
     # Other analyses (implemented in sibling modules)
     # ------------------------------------------------------------------
 
-    def transformer(self, context=None):
+    def transformer(self, context=None, budget=None):
         """Build a :class:`StateSetTransformer` for this function."""
         from .transformers import StateSetTransformer
 
-        return StateSetTransformer.build(self, context=context)
+        return StateSetTransformer.build(self, context=context, budget=budget)
 
     def generate_inputs(
         self,
         max_inputs: int = 64,
         max_list_length: int = DEFAULT_MAX_LIST_LENGTH,
-    ) -> List[Tuple[Any, ...]]:
-        """Generate high-coverage test inputs (symbolic execution)."""
+        budget: Any = None,
+    ):
+        """Generate high-coverage test inputs (symbolic execution).
+
+        Returns an :class:`~repro.core.testgen.InputSuite` (a list
+        whose ``truncated`` flag records whether `max_inputs` cut
+        exploration short).
+        """
         from .testgen import generate_inputs
 
         return generate_inputs(
-            self, max_inputs=max_inputs, max_list_length=max_list_length
+            self,
+            max_inputs=max_inputs,
+            max_list_length=max_list_length,
+            budget=budget,
         )
 
     def compile(self) -> Callable[..., Any]:

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, List, Optional
 
 from ..errors import ZenTypeError
+from .budget import metered, start_meter
 from .function import ZenFunction
 from .transformers import StateSet, StateSetTransformer, TransformerContext, default_context
 
@@ -34,28 +35,39 @@ def reachable_states(
     initial: StateSet,
     context: Optional[TransformerContext] = None,
     max_iterations: int = 1000,
+    budget=None,
 ) -> ReachabilityReport:
     """All states reachable from `initial` under repeated `step`.
 
     `step` must be a unary function whose input and output types
     match.  Iterates ``R := R ∪ post(R)`` until the set stops growing
     (guaranteed to terminate: the state space is finite).
+
+    `budget` spans the whole fixpoint with one shared meter (building
+    the transformer, every image, and the union steps), so a
+    pathological step function raises
+    :class:`~repro.errors.ZenBudgetExceeded` instead of grinding
+    through iterations.
     """
     if context is None:
         context = default_context()
-    transformer = step.transformer(context)
+    meter = start_meter(budget)
+    transformer = step.transformer(context, budget=meter)
     if transformer.input_type != transformer.output_type:
         raise ZenTypeError(
             "unbounded model checking needs step : S -> S, got "
             f"{transformer.input_type} -> {transformer.output_type}"
         )
     reached = initial
-    for iteration in range(1, max_iterations + 1):
-        frontier = transformer.transform_forward(reached)
-        grown = reached.union(frontier)
-        if grown.equals(reached):
-            return ReachabilityReport(reached, iteration, True)
-        reached = grown
+    with metered(context.manager, meter):
+        for iteration in range(1, max_iterations + 1):
+            if meter is not None:
+                meter.check_deadline()
+            frontier = transformer.transform_forward(reached, budget=meter)
+            grown = reached.union(frontier)
+            if grown.equals(reached):
+                return ReachabilityReport(reached, iteration, True)
+            reached = grown
     return ReachabilityReport(reached, max_iterations, False)
 
 
@@ -65,6 +77,7 @@ def check_invariant(
     invariant: ZenFunction,
     context: Optional[TransformerContext] = None,
     max_iterations: int = 1000,
+    budget=None,
 ) -> Optional[Any]:
     """Check that `invariant` holds on every reachable state.
 
@@ -73,10 +86,15 @@ def check_invariant(
     """
     if context is None:
         context = default_context()
+    meter = start_meter(budget)
     report = reachable_states(
-        step, initial, context=context, max_iterations=max_iterations
+        step,
+        initial,
+        context=context,
+        max_iterations=max_iterations,
+        budget=meter,
     )
-    good = context.from_predicate(invariant)
+    good = context.from_predicate(invariant, budget=meter)
     bad = report.reachable.difference(good)
     return bad.element()
 
@@ -87,10 +105,15 @@ def can_reach(
     target: StateSet,
     context: Optional[TransformerContext] = None,
     max_iterations: int = 1000,
+    budget=None,
 ) -> Optional[Any]:
     """A reachable state inside `target`, or None if unreachable."""
     report = reachable_states(
-        step, initial, context=context, max_iterations=max_iterations
+        step,
+        initial,
+        context=context,
+        max_iterations=max_iterations,
+        budget=budget,
     )
     hit = report.reachable.intersect(target)
     return hit.element()
@@ -101,20 +124,25 @@ def backward_reachable(
     bad: StateSet,
     context: Optional[TransformerContext] = None,
     max_iterations: int = 1000,
+    budget=None,
 ) -> ReachabilityReport:
     """All states that can eventually reach `bad` (pre-image fixpoint)."""
     if context is None:
         context = default_context()
-    transformer = step.transformer(context)
+    meter = start_meter(budget)
+    transformer = step.transformer(context, budget=meter)
     if transformer.input_type != transformer.output_type:
         raise ZenTypeError(
             "unbounded model checking needs step : S -> S"
         )
     reached = bad
-    for iteration in range(1, max_iterations + 1):
-        frontier = transformer.transform_reverse(reached)
-        grown = reached.union(frontier)
-        if grown.equals(reached):
-            return ReachabilityReport(reached, iteration, True)
-        reached = grown
+    with metered(context.manager, meter):
+        for iteration in range(1, max_iterations + 1):
+            if meter is not None:
+                meter.check_deadline()
+            frontier = transformer.transform_reverse(reached, budget=meter)
+            grown = reached.union(frontier)
+            if grown.equals(reached):
+                return ReachabilityReport(reached, iteration, True)
+            reached = grown
     return ReachabilityReport(reached, max_iterations, False)

@@ -16,6 +16,31 @@ from typing import Any, List, Optional, Tuple
 from ..backends import SatBackend, SymbolicEvaluator, decode
 from ..backends import values as sv
 from ..backends.interface import bit_value
+from .budget import start_meter
+
+
+class InputSuite(List[Any]):
+    """Generated test inputs plus a no-silent-caps indicator.
+
+    Behaves exactly like the list previously returned; additionally
+    ``truncated`` is True when the ``max_inputs`` cap stopped
+    generation before every branch-polarity goal had been explored
+    (so raising the cap could produce more inputs), and
+    ``goals_explored``/``goals_total`` quantify the coverage of the
+    goal list itself.
+    """
+
+    def __init__(
+        self,
+        items=(),
+        truncated: bool = False,
+        goals_explored: int = 0,
+        goals_total: int = 0,
+    ):
+        super().__init__(items)
+        self.truncated = truncated
+        self.goals_explored = goals_explored
+        self.goals_total = goals_total
 
 
 class _TracingEvaluator(SymbolicEvaluator):
@@ -44,13 +69,20 @@ def generate_inputs(
     function,
     max_inputs: int = 64,
     max_list_length: int = 4,
-) -> List[Tuple[Any, ...]]:
+    budget: Any = None,
+) -> InputSuite:
     """Generate test inputs covering each branch decision of `function`.
 
-    Returns a list of argument tuples (or single values for unary
-    functions), deduplicated, at most `max_inputs` long.
+    Returns an :class:`InputSuite` of argument tuples (or single
+    values for unary functions), deduplicated, at most `max_inputs`
+    long; its ``truncated`` flag is True when the cap stopped goal
+    exploration early (no-silent-caps).  `budget` bounds the solver
+    work across all goals with one shared meter.
     """
     backend = SatBackend()
+    meter = start_meter(budget)
+    if meter is not None:
+        backend.set_budget(meter)
     evaluator = _TracingEvaluator(backend, max_list_length=max_list_length)
     sym_args = [
         evaluator.fresh_input(f"arg{i}", t)
@@ -65,9 +97,11 @@ def generate_inputs(
 
     results: List[Tuple[Any, ...]] = []
     seen = set()
+    explored = 0
     for goal in goals:
         if len(results) >= max_inputs:
             break
+        explored += 1
         model = backend.solve(goal)
         if model is None:
             continue
@@ -77,4 +111,9 @@ def generate_inputs(
             continue
         seen.add(key)
         results.append(decoded[0] if len(decoded) == 1 else decoded)
-    return results
+    return InputSuite(
+        results,
+        truncated=explored < len(goals),
+        goals_explored=explored,
+        goals_total=len(goals),
+    )

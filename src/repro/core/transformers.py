@@ -45,6 +45,7 @@ from ..bdd import Bdd
 from ..errors import ZenArityError, ZenTypeError
 from ..lang import types as ty
 from ..lang import Zen
+from .budget import metered
 
 DEFAULT_MAX_LIST_LENGTH = 4
 
@@ -381,7 +382,7 @@ class TransformerContext:
         node = sv.equal(self.backend, space.value, encoded)
         return StateSet(self, zen_type, node)
 
-    def from_predicate(self, function) -> "StateSet":
+    def from_predicate(self, function, budget=None) -> "StateSet":
         """The set of inputs on which a boolean ZenFunction is true."""
         from .function import ZenFunction
 
@@ -393,11 +394,12 @@ class TransformerContext:
             raise ZenTypeError("set predicates must return bool")
         zen_type = function.arg_types[0]
         space = self.space(zen_type)
-        evaluator = SymbolicEvaluator(
-            self.backend, max_list_length=self.max_list_length
-        )
-        evaluator.bind("arg0", space.value)
-        result = evaluator.evaluate(function.body.expr)
+        with metered(self.manager, budget):
+            evaluator = SymbolicEvaluator(
+                self.backend, max_list_length=self.max_list_length
+            )
+            evaluator.bind("arg0", space.value)
+            result = evaluator.evaluate(function.body.expr)
         assert isinstance(result, sv.SymBool)
         return StateSet(self, zen_type, result.bit)
 
@@ -535,8 +537,20 @@ class StateSetTransformer:
         self.out_levels = out_levels
 
     @classmethod
-    def build(cls, function, context: Optional[TransformerContext] = None):
-        """Compile a unary ZenFunction into a transformer."""
+    def build(
+        cls,
+        function,
+        context: Optional[TransformerContext] = None,
+        budget=None,
+    ):
+        """Compile a unary ZenFunction into a transformer.
+
+        `budget` bounds the BDD work of building the relation (the
+        expensive step for adversarial models); exhaustion raises
+        :class:`~repro.errors.ZenBudgetExceeded` and leaves the
+        context's manager consistent (kernels publish only completed
+        results).
+        """
         from .function import ZenFunction
 
         if not isinstance(function, ZenFunction):
@@ -562,31 +576,32 @@ class StateSetTransformer:
         manager.new_vars(len(in_slots) + len(out_slots))
         in_levels = [base + s for s in in_slots]
         out_levels = [base + s for s in out_slots]
-        in_value = sv.fresh(
-            _SequenceBackend(context.backend, in_levels),
-            input_type,
-            "t-in",
-            context.max_list_length,
-        )
-        out_value = sv.fresh(
-            _SequenceBackend(context.backend, out_levels),
-            output_type,
-            "t-out",
-            context.max_list_length,
-        )
-        evaluator = SymbolicEvaluator(
-            context.backend, max_list_length=context.max_list_length
-        )
-        evaluator.bind("arg0", in_value)
-        result = evaluator.evaluate(function.body.expr)
-        relation = sv.equal(context.backend, out_value, result)
+        with metered(manager, budget):
+            in_value = sv.fresh(
+                _SequenceBackend(context.backend, in_levels),
+                input_type,
+                "t-in",
+                context.max_list_length,
+            )
+            out_value = sv.fresh(
+                _SequenceBackend(context.backend, out_levels),
+                output_type,
+                "t-out",
+                context.max_list_length,
+            )
+            evaluator = SymbolicEvaluator(
+                context.backend, max_list_length=context.max_list_length
+            )
+            evaluator.bind("arg0", in_value)
+            result = evaluator.evaluate(function.body.expr)
+            relation = sv.equal(context.backend, out_value, result)
         return cls(
             context, input_type, output_type, relation, in_levels, out_levels
         )
 
     # ------------------------------------------------------------------
 
-    def transform_forward(self, input_set: StateSet) -> StateSet:
+    def transform_forward(self, input_set: StateSet, budget=None) -> StateSet:
         """Post-image: the set of outputs for the given inputs."""
         if input_set.zen_type != self.input_type:
             raise ZenTypeError(
@@ -596,22 +611,23 @@ class StateSetTransformer:
         manager = self.context.manager
         in_space = self.context.space(self.input_type)
         out_space = self.context.space(self.output_type)
-        # Canonical -> private input variables (runtime substitution).
-        shifted = manager.rename(
-            input_set.node, dict(zip(in_space.levels, self.in_levels))
-        )
-        # Fused relational product: never materializes the full
-        # conjunction of the input set with the relation.
-        image = manager.and_exists(shifted, self.relation, self.in_levels)
-        # Private output variables -> canonical.  Output levels are not
-        # ascending in allocation order (the ordering analysis scatters
-        # them), so this needs the general permute.
-        result = manager.permute(
-            image, dict(zip(self.out_levels, out_space.levels))
-        )
+        with metered(manager, budget):
+            # Canonical -> private input variables (runtime substitution).
+            shifted = manager.rename(
+                input_set.node, dict(zip(in_space.levels, self.in_levels))
+            )
+            # Fused relational product: never materializes the full
+            # conjunction of the input set with the relation.
+            image = manager.and_exists(shifted, self.relation, self.in_levels)
+            # Private output variables -> canonical.  Output levels are not
+            # ascending in allocation order (the ordering analysis scatters
+            # them), so this needs the general permute.
+            result = manager.permute(
+                image, dict(zip(self.out_levels, out_space.levels))
+            )
         return StateSet(self.context, self.output_type, result)
 
-    def transform_reverse(self, output_set: StateSet) -> StateSet:
+    def transform_reverse(self, output_set: StateSet, budget=None) -> StateSet:
         """Pre-image: the set of inputs mapping into the output set."""
         if output_set.zen_type != self.output_type:
             raise ZenTypeError(
@@ -621,13 +637,14 @@ class StateSetTransformer:
         manager = self.context.manager
         in_space = self.context.space(self.input_type)
         out_space = self.context.space(self.output_type)
-        shifted = manager.permute(
-            output_set.node, dict(zip(out_space.levels, self.out_levels))
-        )
-        pre = manager.and_exists(shifted, self.relation, self.out_levels)
-        result = manager.rename(
-            pre, dict(zip(self.in_levels, in_space.levels))
-        )
+        with metered(manager, budget):
+            shifted = manager.permute(
+                output_set.node, dict(zip(out_space.levels, self.out_levels))
+            )
+            pre = manager.and_exists(shifted, self.relation, self.out_levels)
+            result = manager.rename(
+                pre, dict(zip(self.in_levels, in_space.levels))
+            )
         return StateSet(self.context, self.input_type, result)
 
     def canonical_relation(self) -> int:
@@ -654,7 +671,9 @@ class StateSetTransformer:
         mapping = {a: b for a, b in mapping.items() if a != b}
         return self.context.manager.permute(self.relation, mapping)
 
-    def compose(self, other: "StateSetTransformer") -> "StateSetTransformer":
+    def compose(
+        self, other: "StateSetTransformer", budget=None
+    ) -> "StateSetTransformer":
         """Relational composition: first self, then `other`."""
         if other.context is not self.context:
             raise ZenTypeError("transformers belong to different contexts")
@@ -670,13 +689,14 @@ class StateSetTransformer:
         base = manager.num_vars
         manager.new_vars(len(self.out_levels))
         aux_levels = list(range(base, base + len(self.out_levels)))
-        left = manager.permute(
-            self.relation, dict(zip(self.out_levels, aux_levels))
-        )
-        right = manager.permute(
-            other.relation, dict(zip(other.in_levels, aux_levels))
-        )
-        composed = manager.and_exists(left, right, aux_levels)
+        with metered(manager, budget):
+            left = manager.permute(
+                self.relation, dict(zip(self.out_levels, aux_levels))
+            )
+            right = manager.permute(
+                other.relation, dict(zip(other.in_levels, aux_levels))
+            )
+            composed = manager.and_exists(left, right, aux_levels)
         return StateSetTransformer(
             self.context,
             self.input_type,

@@ -33,3 +33,43 @@ class ZenSolverError(ZenError, RuntimeError):
 
 class ZenDepthError(ZenError, ValueError):
     """A bounded structure (list) exceeded its configured maximum size."""
+
+
+class ZenBudgetExceeded(ZenError, TimeoutError):
+    """A query exhausted its :class:`~repro.core.budget.Budget`.
+
+    Carries the structured context a caller needs to degrade
+    gracefully instead of guessing from a message string:
+
+    * ``reason``  — which limit tripped (``"deadline"``,
+      ``"conflicts"``, ``"bdd_nodes"`` or ``"models"``);
+    * ``budget``  — the :class:`Budget` that was configured;
+    * ``stats``   — partial statistics at the moment of exhaustion
+      (elapsed seconds, conflicts seen, BDD nodes allocated, models
+      produced);
+    * ``degradations`` — fallback steps already attempted when raised
+      by :func:`~repro.core.budget.solve_with_fallback`.
+    """
+
+    def __init__(self, message, reason="", budget=None, stats=None):
+        super().__init__(message)
+        self.reason = reason
+        self.budget = budget
+        self.stats = dict(stats or {})
+        self.degradations: tuple = ()
+
+
+class ZenUnsoundResultError(ZenError, RuntimeError):
+    """A solver produced a model that fails concrete replay.
+
+    Raised by counterexample self-validation: every model returned by
+    ``find``/``verify`` is replayed through the concrete evaluator, so
+    a latent encoding bug in a solver backend becomes a loud failure
+    instead of a silently wrong packet.  ``model`` holds the rejected
+    decoded inputs and ``backend`` names the engine that produced it.
+    """
+
+    def __init__(self, message, model=None, backend=""):
+        super().__init__(message)
+        self.model = model
+        self.backend = backend

@@ -106,6 +106,13 @@ class Solver:
         self._num_assumed_levels = 0
         self._next_assumption = 0
         self._failed_assumptions: List[int] = []
+        # Cooperative resource governance (duck-typed BudgetMeter; the
+        # solver never imports repro.core.budget).
+        self._meter = None
+        # Set by iter_models: True when the limit cut enumeration off
+        # while more models existed, False when enumeration was
+        # exhaustive, None before any enumeration finished.
+        self.last_enumeration_truncated: Optional[bool] = None
 
     # ------------------------------------------------------------------
     # Public API
@@ -195,21 +202,34 @@ class Solver:
         self._attach(clause)
         return True
 
-    def solve(self, assumptions: Sequence[int] = ()) -> bool:
+    def solve(self, assumptions: Sequence[int] = (), budget=None) -> bool:
         """Search for a model, optionally under assumption literals.
 
         On success the model is queryable via :meth:`model_value`.  On
         failure under assumptions, :meth:`failed_assumptions` returns
         the subset of assumptions assigned when the conflict arose.
+
+        `budget` is an optional :class:`repro.core.budget.Budget` (or
+        a running meter): the search checkpoints on every conflict,
+        every 256 decisions, and at each restart, and raises
+        :class:`~repro.errors.ZenBudgetExceeded` on exhaustion.  The
+        abort unwinds through the trail-restoring ``finally``, so the
+        solver remains usable afterwards.
         """
         self._failed_assumptions = []
         self._model = []
         if not self._ok:
             return False
+        meter = budget
+        if meter is not None and not hasattr(meter, "on_conflict"):
+            meter = meter.start()
         assume = [self._internal(lit) for lit in assumptions]
         restarts = 0
+        self._meter = meter
         try:
             while True:
+                if meter is not None:
+                    meter.check_deadline()
                 self._num_assumed_levels = 0
                 self._next_assumption = 0
                 status = self._search(100 * luby(restarts + 1), assume)
@@ -218,6 +238,7 @@ class Solver:
                 restarts += 1
                 self._cancel_until(0)
         finally:
+            self._meter = None
             self._cancel_until(0)
 
     def model_value(self, var: int) -> bool:
@@ -242,22 +263,45 @@ class Solver:
         return list(self._failed_assumptions)
 
     def iter_models(
-        self, variables: Optional[Sequence[int]] = None, limit: int = 1 << 20
+        self,
+        variables: Optional[Sequence[int]] = None,
+        limit: int = 1 << 20,
+        budget=None,
     ) -> Iterator[List[int]]:
         """Enumerate models by adding blocking clauses over `variables`.
 
         The solver is consumed by this process (blocking clauses are
         permanent).  `variables` defaults to all variables.
+
+        Hitting `limit` must not look identical to exhaustive
+        enumeration: when the limit cuts enumeration off, one extra
+        (blocked) solve determines whether further models exist and
+        :attr:`last_enumeration_truncated` is set to the exact answer
+        (False = the enumeration was complete).  `budget` bounds the
+        whole enumeration, including that final probe.
         """
         if variables is None:
             variables = list(range(1, self._num_vars + 1))
+        meter = budget
+        if meter is not None and not hasattr(meter, "on_conflict"):
+            meter = meter.start()
+        self.last_enumeration_truncated = None
         count = 0
-        while count < limit and self.solve():
+        while count < limit:
+            if not self.solve(budget=meter):
+                self.last_enumeration_truncated = False
+                return
+            if meter is not None:
+                meter.on_model()
             model = [v if self.model_value(v) else -v for v in variables]
             yield model
-            if not self.add_clause([-lit for lit in model]):
-                return
             count += 1
+            if not self.add_clause([-lit for lit in model]):
+                self.last_enumeration_truncated = False
+                return
+        # The limit stopped us with the last model already blocked; one
+        # more solve tells exactly whether anything was left behind.
+        self.last_enumeration_truncated = self.solve(budget=meter)
 
     # ------------------------------------------------------------------
     # Encoding helpers
@@ -539,11 +583,14 @@ class Solver:
         when the conflict budget is exhausted (caller restarts).
         """
         conflicts_here = 0
+        meter = self._meter
         while True:
             conflict = self._propagate()
             if conflict is not None:
                 self._conflicts += 1
                 conflicts_here += 1
+                if meter is not None:
+                    meter.on_conflict()
                 if not self._trail_lim:
                     # Conflict with no decisions and no assumptions.
                     self._ok = False
@@ -592,6 +639,8 @@ class Solver:
                 self._model = list(self._value)
                 return True
             self._decisions += 1
+            if meter is not None:
+                meter.on_decision()
             self._trail_lim.append(len(self._trail))
             self._enqueue(2 * v + (0 if self._phase[v] else 1), None)
 

@@ -1,0 +1,510 @@
+"""Tests for resource governance: budgets, fallbacks, truncation.
+
+The tentpole contract: every public query path accepts a
+:class:`repro.Budget`, enforcement is cooperative (checkpoints inside
+the CDCL loop and the BDD kernels), exhaustion raises a structured
+:class:`repro.ZenBudgetExceeded` within a small factor of the
+configured limit, and :func:`repro.solve_with_fallback` degrades
+gracefully across backends and list-depth bounds instead of dying.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import (
+    Budget,
+    BudgetMeter,
+    QueryResult,
+    TransformerContext,
+    UInt,
+    UShort,
+    ZList,
+    ZenBudgetExceeded,
+    ZenFunction,
+    constant,
+    solve_with_fallback,
+)
+from repro.backends import BddBackend, SatBackend
+from repro.baselines.batfish_acl import find_packet_matching_last_line
+from repro.bdd import Bdd
+from repro.bdd.reorder import rebuild, sift
+from repro.core.budget import metered, start_meter
+from repro.core.modelcheck import reachable_states
+from repro.errors import ZenSolverError, ZenTypeError
+from repro.lang import listops
+from repro.lang import types as ty
+from repro.network.acl import Acl, AclRule
+from repro.network.ip import Prefix
+from repro.network.nat import NatRule, NatTable, apply_nat
+from repro.network.packet import Header
+from repro.sat.solver import Solver
+
+
+def multiply_commutes() -> ZenFunction:
+    """32-bit multiply commutativity: hard UNSAT for CDCL, node
+    blowup for BDDs — the canonical budget-tripping instance."""
+    return ZenFunction(lambda a, b: a * b == b * a, [UInt, UInt])
+
+
+class TestBudgetObject:
+    def test_defaults_unlimited(self):
+        assert Budget().is_unlimited()
+        assert not Budget(deadline_s=1).is_unlimited()
+
+    def test_rejects_negative_and_non_numeric(self):
+        with pytest.raises(ZenTypeError):
+            Budget(deadline_s=-1)
+        with pytest.raises(ZenTypeError):
+            Budget(max_conflicts="many")
+        with pytest.raises(ZenTypeError):
+            Budget(max_bdd_nodes=True)
+
+    def test_start_returns_fresh_meter(self):
+        budget = Budget(max_conflicts=5)
+        meter = budget.start()
+        assert isinstance(meter, BudgetMeter)
+        assert meter.budget is budget
+        assert meter.stats()["conflicts"] == 0
+
+    def test_meter_hooks_charge_and_trip(self):
+        meter = Budget(max_conflicts=2, max_models=1).start()
+        meter.on_conflict()
+        meter.on_conflict()
+        with pytest.raises(ZenBudgetExceeded) as info:
+            meter.on_conflict()
+        assert info.value.reason == "conflicts"
+        assert info.value.stats["conflicts"] == 3
+        meter.on_model()
+        with pytest.raises(ZenBudgetExceeded) as info:
+            meter.on_model()
+        assert info.value.reason == "models"
+
+    def test_deadline_uses_injected_clock(self):
+        now = [0.0]
+        meter = Budget(deadline_s=10.0).start(clock=lambda: now[0])
+        meter.check_deadline()
+        now[0] = 10.5
+        with pytest.raises(ZenBudgetExceeded) as info:
+            meter.check_deadline()
+        assert info.value.reason == "deadline"
+
+    def test_start_meter_normalizes(self):
+        assert start_meter(None) is None
+        meter = Budget().start()
+        assert start_meter(meter) is meter
+        assert isinstance(start_meter(Budget()), BudgetMeter)
+        with pytest.raises(ZenTypeError):
+            start_meter(42)
+
+
+class TestSatBudget:
+    def test_conflict_budget_trips(self):
+        f = multiply_commutes()
+        with pytest.raises(ZenBudgetExceeded) as info:
+            f.verify(
+                lambda a, b, out: out,
+                backend="sat",
+                budget=Budget(max_conflicts=50),
+            )
+        assert info.value.reason == "conflicts"
+        assert info.value.stats["conflicts"] > 50
+
+    def test_deadline_trips_within_double(self):
+        f = multiply_commutes()
+        deadline = 0.5
+        started = time.monotonic()
+        with pytest.raises(ZenBudgetExceeded) as info:
+            f.verify(
+                lambda a, b, out: out,
+                backend="sat",
+                budget=Budget(deadline_s=deadline),
+            )
+        elapsed = time.monotonic() - started
+        assert info.value.reason == "deadline"
+        assert elapsed < 2 * deadline
+
+    def test_solver_stays_usable_after_abort(self):
+        f = multiply_commutes()
+        engine = SatBackend()
+        with pytest.raises(ZenBudgetExceeded):
+            f.verify(
+                lambda a, b, out: out,
+                backend=engine,
+                budget=Budget(max_conflicts=10),
+            )
+        assert engine.budget is None  # meter uninstalled on unwind
+        # The same instance still answers fresh (easy) queries.
+        g = ZenFunction(lambda x: x + 1 == 5, [UInt])
+        assert g.find(backend=engine) == 4
+
+    def test_generous_budget_does_not_change_answer(self):
+        g = ZenFunction(lambda x: x * 3 == 21, [UInt])
+        assert g.find(budget=Budget(deadline_s=60)) == 7
+
+
+class TestBddBudget:
+    def test_node_budget_trips(self):
+        f = multiply_commutes()
+        with pytest.raises(ZenBudgetExceeded) as info:
+            f.verify(
+                lambda a, b, out: out,
+                backend="bdd",
+                budget=Budget(max_bdd_nodes=10_000),
+            )
+        assert info.value.reason == "bdd_nodes"
+        assert info.value.stats["bdd_nodes"] >= 10_000
+
+    def test_deadline_trips_within_double(self):
+        f = multiply_commutes()
+        deadline = 0.5
+        started = time.monotonic()
+        with pytest.raises(ZenBudgetExceeded) as info:
+            f.verify(
+                lambda a, b, out: out,
+                backend="bdd",
+                budget=Budget(deadline_s=deadline),
+            )
+        elapsed = time.monotonic() - started
+        assert info.value.reason == "deadline"
+        assert elapsed < 2 * deadline
+
+    def test_meter_uninstalled_after_abort(self):
+        f = multiply_commutes()
+        engine = BddBackend()
+        with pytest.raises(ZenBudgetExceeded):
+            f.verify(
+                lambda a, b, out: out,
+                backend=engine,
+                budget=Budget(max_bdd_nodes=5_000),
+            )
+        assert engine.budget is None
+
+    def test_small_workload_node_cap_is_exact(self):
+        # Many small kernels never reach the per-kernel tick interval;
+        # the allocation-time checkpoint must still trip the cap.
+        manager = Bdd()
+        manager.set_budget(Budget(max_bdd_nodes=40).start())
+        with pytest.raises(ZenBudgetExceeded) as info:
+            for i in range(64):
+                manager.new_var()
+        assert info.value.reason == "bdd_nodes"
+
+    def test_set_budget_fails_fast_when_already_over(self):
+        manager = Bdd()
+        manager.new_vars(16)
+        with pytest.raises(ZenBudgetExceeded):
+            manager.set_budget(Budget(max_bdd_nodes=4).start())
+        assert manager.budget is None  # failed install leaves no meter
+
+    def test_metered_restores_previous(self):
+        manager = Bdd()
+        outer = Budget().start()
+        manager.set_budget(outer)
+        with metered(manager, Budget(deadline_s=60)) as meter:
+            assert manager.budget is meter
+        assert manager.budget is outer
+        with metered(manager, None):
+            assert manager.budget is outer
+
+
+class TestFallback:
+    def test_answers_directly_when_cheap(self):
+        g = ZenFunction(lambda x: x * 3 == 21, [UInt])
+        result = solve_with_fallback(g, budget=Budget(deadline_s=30))
+        assert isinstance(result, QueryResult)
+        assert result.answer == 7
+        assert result.backend == "sat"
+        assert not result.degraded
+        assert result.stats["elapsed_s"] >= 0
+
+    def test_falls_back_to_other_backend(self):
+        # BDD blows its node budget on the product circuit; SAT
+        # factors the constant instantly.
+        g = ZenFunction(lambda a, b: a * b == 1517, [UShort, UShort])
+        result = solve_with_fallback(
+            g,
+            backends=("bdd", "sat"),
+            budget=Budget(deadline_s=5.0, max_bdd_nodes=20_000),
+        )
+        assert result.backend == "sat"
+        a, b = result.answer
+        assert a * b == 1517
+        assert result.degraded
+        assert "bdd" in result.degradations[0]
+        assert "bdd_nodes" in result.degradations[0]
+
+    def test_degrades_list_depth(self):
+        def prod_is(xs):
+            return (
+                listops.fold(
+                    xs, constant(1, ty.UINT), lambda x, acc: x * acc
+                )
+                == 1517
+            )
+
+        f = ZenFunction(prod_is, [ZList[UInt]])
+        result = solve_with_fallback(
+            f,
+            backends=("bdd",),
+            budget=Budget(max_bdd_nodes=30_000),
+            degrade_list_lengths=(1,),
+        )
+        assert result.max_list_length == 1
+        assert result.answer == [1517]
+        assert result.degraded
+
+    def test_exhausted_ladder_reraises_with_degradations(self):
+        f = multiply_commutes()
+        with pytest.raises(ZenBudgetExceeded) as info:
+            solve_with_fallback(
+                f,
+                lambda a, b, out: ~out,
+                backends=("sat", "bdd"),
+                budget=Budget(deadline_s=0.2),
+            )
+        assert len(info.value.degradations) == 2
+
+    def test_validates_ladder_configuration(self):
+        g = ZenFunction(lambda x: x == 1, [UInt])
+        with pytest.raises(ZenTypeError):
+            solve_with_fallback(g, backends=())
+        with pytest.raises(ZenTypeError):
+            solve_with_fallback(g, degrade_list_lengths=(9,))
+
+
+class TestEnumerationTruncation:
+    def _two_var_solver(self):
+        solver = Solver()
+        a, b = solver.new_var(), solver.new_var()
+        solver.add_clause([a, b])
+        return solver, [a, b]
+
+    def test_iter_models_truncated_flag(self):
+        solver, variables = self._two_var_solver()
+        assert solver.last_enumeration_truncated is None
+        models = list(solver.iter_models(variables, limit=2))
+        assert len(models) == 2
+        assert solver.last_enumeration_truncated is True
+
+    def test_iter_models_exhaustive_is_not_truncated(self):
+        solver, variables = self._two_var_solver()
+        models = list(solver.iter_models(variables, limit=10))
+        assert len(models) == 3  # a|b has 3 models over 2 vars
+        assert solver.last_enumeration_truncated is False
+
+    def test_iter_models_exact_limit_boundary(self):
+        # limit == model count: the extra probe proves exhaustion.
+        solver, variables = self._two_var_solver()
+        models = list(solver.iter_models(variables, limit=3))
+        assert len(models) == 3
+        assert solver.last_enumeration_truncated is False
+
+    def test_solve_all_truncated_flag(self):
+        backend = SatBackend()
+        x, y = backend.fresh("x"), backend.fresh("y")
+        constraint = backend.or_(x, y)
+        models = list(backend.solve_all(constraint, [x, y], limit=2))
+        assert len(models) == 2
+        assert backend.last_enumeration_truncated is True
+
+        backend2 = SatBackend()
+        x, y = backend2.fresh("x"), backend2.fresh("y")
+        models = list(
+            backend2.solve_all(backend2.or_(x, y), [x, y], limit=10)
+        )
+        assert len(models) == 3
+        assert backend2.last_enumeration_truncated is False
+
+    def test_model_budget_bounds_enumeration(self):
+        backend = SatBackend()
+        bits = [backend.fresh(f"b{i}") for i in range(6)]
+        any_set = bits[0]
+        for bit in bits[1:]:
+            any_set = backend.or_(any_set, bit)  # 63 models
+        backend.set_budget(Budget(max_models=4).start())
+        with pytest.raises(ZenBudgetExceeded) as info:
+            list(backend.solve_all(any_set, bits, limit=1000))
+        assert info.value.reason == "models"
+
+    def test_generate_inputs_truncation_surfaced(self):
+        from repro import if_
+
+        f = ZenFunction(
+            lambda x: if_(x > 10, if_(x > 20, x + 1, x + 2), x + 3),
+            [UInt],
+        )
+        suite = f.generate_inputs(max_inputs=64)
+        assert not suite.truncated
+        assert suite.goals_explored == suite.goals_total
+        small = f.generate_inputs(max_inputs=1)
+        assert len(small) == 1
+        assert small.truncated
+        assert small.goals_explored < small.goals_total
+
+
+class TestTransformerAndModelcheckBudget:
+    def test_transformer_build_respects_budget(self):
+        hard = ZenFunction(lambda x: x * x + 1, [UInt])
+        with pytest.raises(ZenBudgetExceeded) as info:
+            hard.transformer(budget=Budget(max_bdd_nodes=5_000))
+        assert info.value.reason == "bdd_nodes"
+
+    def test_transformer_ops_work_under_generous_budget(self):
+        ctx = TransformerContext()
+        step = ZenFunction(lambda x: x + 1, [UInt])
+        t = step.transformer(ctx, budget=Budget(deadline_s=60))
+        start = ctx.from_predicate(
+            ZenFunction(lambda x: x == 3, [UInt]),
+            budget=Budget(deadline_s=60),
+        )
+        image = t.transform_forward(start, budget=Budget(deadline_s=60))
+        assert image.element() == 4
+
+    def test_reachability_budget_trips_on_hard_step(self):
+        ctx = TransformerContext()
+        hard_step = ZenFunction(lambda x: x * x + 7, [UInt])
+        init = ctx.from_predicate(ZenFunction(lambda x: x == 2, [UInt]))
+        with pytest.raises(ZenBudgetExceeded):
+            reachable_states(
+                hard_step, init, context=ctx,
+                budget=Budget(max_bdd_nodes=5_000),
+            )
+
+    def test_reachability_works_under_generous_budget(self):
+        ctx = TransformerContext()
+        step = ZenFunction(lambda x: x + 1, [UInt])
+        init = ctx.from_predicate(ZenFunction(lambda x: x < 3, [UInt]))
+        report = reachable_states(
+            step, init, context=ctx, max_iterations=5,
+            budget=Budget(deadline_s=60),
+        )
+        assert report.iterations == 5
+
+
+class TestBatfishBudget:
+    def _acl(self):
+        return Acl.of(
+            "t",
+            [
+                AclRule(action=False, dst=Prefix(0x0A000000, 8)),
+                AclRule(action=True),
+            ],
+        )
+
+    def test_baseline_answers_under_budget(self):
+        header = find_packet_matching_last_line(
+            self._acl(), budget=Budget(deadline_s=30)
+        )
+        assert header is not None
+        assert (header.dst_ip >> 24) != 0x0A
+
+    def test_baseline_node_cap_trips(self):
+        with pytest.raises(ZenBudgetExceeded) as info:
+            find_packet_matching_last_line(
+                self._acl(), budget=Budget(max_bdd_nodes=120)
+            )
+        assert info.value.reason == "bdd_nodes"
+
+
+class TestSiftBudget:
+    def _pair_disjunction(self):
+        # (x0&x1)|(x2&x3)|(x4&x5)|(x6&x7): identity order optimal, so
+        # moved-variable candidates allocate past a tight cap.
+        manager = Bdd()
+        manager.new_vars(8)
+        node = 0
+        for i in range(0, 8, 2):
+            node = manager.or_(
+                node, manager.and_(manager.var(i), manager.var(i + 1))
+            )
+        return manager, node
+
+    def test_rebuild_accepts_budget(self):
+        manager, node = self._pair_disjunction()
+        target, root = rebuild(
+            manager, node, list(range(8)), budget=Budget(deadline_s=30)
+        )
+        assert target.node_count(root) == manager.node_count(node)
+
+    def test_sift_degrades_to_best_complete_order(self):
+        manager, node = self._pair_disjunction()
+        new_manager, root, order = sift(
+            manager, node, budget=Budget(max_bdd_nodes=17)
+        )
+        # The anytime result is consistent and only committed moves.
+        assert sorted(order) == list(range(8))
+        assert new_manager.node_count(root) == manager.node_count(node)
+
+    def test_sift_raise_mode_propagates(self):
+        manager, node = self._pair_disjunction()
+        with pytest.raises(ZenBudgetExceeded):
+            sift(
+                manager,
+                node,
+                budget=Budget(max_bdd_nodes=17),
+                on_budget="raise",
+            )
+        # Source manager untouched either way.
+        assert manager.node_count(node) > 0
+
+    def test_sift_impossible_baseline_raises_in_degrade_mode(self):
+        manager, node = self._pair_disjunction()
+        with pytest.raises(ZenBudgetExceeded):
+            sift(manager, node, budget=Budget(max_bdd_nodes=3))
+
+    def test_sift_rejects_bad_mode(self):
+        manager, node = self._pair_disjunction()
+        with pytest.raises(ZenSolverError):
+            sift(manager, node, on_budget="explode")
+
+    def test_sift_unbudgeted_still_optimizes(self):
+        manager = Bdd()
+        manager.new_vars(8)
+        node = 1
+        for i in range(4):
+            node = manager.and_(
+                node, manager.iff(manager.var(i), manager.var(i + 4))
+            )
+        new_manager, root, order = sift(
+            manager, node, budget=Budget(deadline_s=60)
+        )
+        assert new_manager.node_count(root) < manager.node_count(node)
+
+
+class TestHardQuerySmoke:
+    """The acceptance smoke test: a wide symbolic NAT composition with
+    a nonlinear port/address condition exceeds its deadline on both
+    backends and raises within 2x the configured value."""
+
+    def _hard_function(self):
+        table = NatTable.of(
+            "wide",
+            [
+                NatRule(
+                    match_src=Prefix(i << 24, 8),
+                    translate_src=Prefix(0x0A000000 | (i << 8), 24),
+                )
+                for i in range(12)
+            ],
+        )
+
+        def hard(h):
+            out = apply_nat(table, apply_nat(table, h))
+            return out.src_ip * out.dst_ip != out.dst_ip * out.src_ip
+
+        return ZenFunction(hard, [Header])
+
+    @pytest.mark.parametrize("backend", ["sat", "bdd"])
+    def test_raises_within_deadline(self, backend):
+        f = self._hard_function()
+        deadline = 0.75
+        started = time.monotonic()
+        with pytest.raises(ZenBudgetExceeded) as info:
+            f.find(backend=backend, budget=Budget(deadline_s=deadline))
+        elapsed = time.monotonic() - started
+        assert info.value.reason == "deadline"
+        assert elapsed < 2 * deadline
+        assert info.value.stats["elapsed_s"] >= deadline
