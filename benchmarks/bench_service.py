@@ -1,0 +1,176 @@
+"""Benchmark the fault-isolated query service (repro.service).
+
+Measures, per pool size (1/2/4 workers by default):
+
+* ``p50_ms`` / ``p95_ms`` — per-query wall-clock latency for a mixed
+  portfolio of find/verify/generate_inputs specs submitted through
+  ``run_many`` (so the scheduler, pipe protocol, and pickling overhead
+  are all inside the measured path);
+* ``throughput_qps`` — portfolio size over total wall-clock;
+* ``retries`` / ``breaker_trips`` / ``worker_restarts`` — recovery
+  counters from a fault round that mixes crashing workers into the
+  same portfolio, demonstrating the overhead of isolation *with*
+  faults in the stream.
+
+Latency percentiles come from per-query ``elapsed_s`` in the
+:class:`~repro.service.ServiceResult` attempt records, not from
+end-to-end batch time, so queueing delay behind a busy pool is
+excluded from p50/p95 (it is visible in throughput instead).
+
+Emits ``BENCH_service.json`` so successive PRs can compare numbers.
+
+Usage:  PYTHONPATH=src:. python benchmarks/bench_service.py [--quick]
+(the ``.`` lets workers resolve the ``tests.service_faults`` builders)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+from repro import QueryEngine, QuerySpec, ZenServiceError
+
+EQ = "tests.service_faults:eq_model"
+UNSAT = "tests.service_faults:unsat_model"
+PARITY = "tests.service_faults:parity_model"
+CRASH = "tests.service_faults:crash_model"
+
+
+def percentile(samples, q: float) -> float:
+    """Nearest-rank percentile of a non-empty sample list."""
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def portfolio(queries: int) -> list:
+    """A mixed, deterministic query portfolio of the given size."""
+    specs = []
+    kinds = [
+        QuerySpec(builder=EQ, label="find-sat"),
+        QuerySpec(builder=UNSAT, label="find-unsat"),
+        QuerySpec(builder=EQ, backend="bdd", label="find-bdd"),
+        QuerySpec(builder=PARITY, kind="generate_inputs", max_inputs=4,
+                  label="testgen"),
+    ]
+    for i in range(queries):
+        specs.append(kinds[i % len(kinds)])
+    return specs
+
+
+def bench_pool(pool_size: int, queries: int) -> dict:
+    """Latency/throughput for a clean portfolio, then a faulty round."""
+    specs = portfolio(queries)
+    with QueryEngine(
+        pool_size=pool_size,
+        retries=1,
+        backoff_base_s=0.01,
+        backoff_max_s=0.05,
+        breaker_threshold=1_000,  # clean round: never trip
+        default_timeout_s=60.0,
+    ) as engine:
+        # Warm the pool (imports, first builder resolution) off-clock.
+        engine.run(QuerySpec(builder=EQ, label="warmup"))
+
+        start = time.perf_counter()
+        results = engine.run_many(specs)
+        wall_s = time.perf_counter() - start
+        errors = [r for r in results if isinstance(r, ZenServiceError)]
+        if errors:
+            raise SystemExit(f"clean round failed: {errors[0]}")
+        latencies_ms = [r.elapsed_s * 1000 for r in results]
+
+        # Fault round: every 4th query crashes its worker; the rest of
+        # the stream must still complete while the pool respawns.
+        faulty = list(specs)
+        for i in range(0, len(faulty), 4):
+            faulty[i] = QuerySpec(builder=CRASH, timeout_s=30,
+                                  label="crash")
+        fault_start = time.perf_counter()
+        fault_results = engine.run_many(faulty)
+        fault_wall_s = time.perf_counter() - fault_start
+        survivors = [
+            r for r in fault_results if not isinstance(r, ZenServiceError)
+        ]
+        retries = sum(
+            max(0, len(r.attempts) - 1)
+            for r in fault_results
+            if not isinstance(r, ZenServiceError)
+        ) + sum(
+            max(0, len(r.attempts) - 1)
+            for r in fault_results
+            if isinstance(r, ZenServiceError)
+        )
+        return {
+            "pool_size": pool_size,
+            "queries": queries,
+            "p50_ms": percentile(latencies_ms, 0.50),
+            "p95_ms": percentile(latencies_ms, 0.95),
+            "throughput_qps": queries / wall_s if wall_s else float("inf"),
+            "wall_s": wall_s,
+            "fault_round": {
+                "queries": len(faulty),
+                "survivors": len(survivors),
+                "failed": len(faulty) - len(survivors),
+                "wall_s": fault_wall_s,
+                "retries": retries,
+                "breaker_trips": sum(
+                    b.trips for b in engine.breakers.values()
+                ),
+                "worker_restarts": engine.total_restarts(),
+            },
+        }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="small sizes (CI smoke run)"
+    )
+    parser.add_argument(
+        "--pools", type=int, nargs="+", default=[1, 2, 4],
+        help="worker pool sizes to sweep",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent
+        / "BENCH_service.json",
+    )
+    args = parser.parse_args()
+    if not args.out.parent.is_dir():
+        parser.error(f"--out directory does not exist: {args.out.parent}")
+    if any(p < 1 for p in args.pools):
+        parser.error("--pools entries must be >= 1")
+
+    queries = 12 if args.quick else 48
+    results = [bench_pool(pool, queries) for pool in args.pools]
+
+    report = {
+        "bench": "service",
+        "quick": args.quick,
+        "python": platform.python_version(),
+        "results": results,
+    }
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+
+    print(
+        f"{'pool':>5} {'p50_ms':>8} {'p95_ms':>8} {'qps':>7}"
+        f" {'retries':>8} {'trips':>6} {'restarts':>9}"
+    )
+    for row in results:
+        fault = row["fault_round"]
+        print(
+            f"{row['pool_size']:>5} {row['p50_ms']:>8.1f}"
+            f" {row['p95_ms']:>8.1f} {row['throughput_qps']:>7.1f}"
+            f" {fault['retries']:>8} {fault['breaker_trips']:>6}"
+            f" {fault['worker_restarts']:>9}"
+        )
+    print(f"\nwrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -25,8 +25,18 @@ def firewall_allows(flow: Zen) -> Zen:
     return in_block & is_web
 
 
+def build_firewall_model() -> ZenFunction:
+    """Builder for the firewall model.
+
+    Referencable as ``"examples.quickstart:build_firewall_model"`` in a
+    :class:`repro.QuerySpec`, so the query service can rebuild the
+    model inside a subprocess worker.
+    """
+    return ZenFunction(firewall_allows, [Flow], name="firewall")
+
+
 def main() -> None:
-    f = ZenFunction(firewall_allows, [Flow], name="firewall")
+    f = build_firewall_model()
 
     # --- Simulation: Zen models are executable.
     print("allow 10.1.2.3:80 ->", f.evaluate(Flow(0x0A010203, 80)))

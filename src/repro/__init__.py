@@ -34,6 +34,7 @@ from .core import (
     BudgetMeter,
     InputSuite,
     QueryResult,
+    RungFailure,
     StateSet,
     StateSetTransformer,
     TransformerContext,
@@ -47,14 +48,27 @@ from .core import (
 )
 from .errors import (
     ZenArityError,
+    ZenBackendDisagreement,
     ZenBudgetExceeded,
+    ZenCircuitOpen,
     ZenDepthError,
     ZenError,
     ZenEvaluationError,
+    ZenQueryFailed,
+    ZenQueryTimeout,
+    ZenServiceError,
     ZenSolverError,
     ZenTypeError,
     ZenUnsoundResultError,
     ZenUnsupportedError,
+    ZenWorkerCrash,
+)
+from .service import (
+    AttemptRecord,
+    CircuitBreaker,
+    QueryEngine,
+    QuerySpec,
+    ServiceResult,
 )
 from .lang import (
     BOOL,
@@ -113,8 +127,15 @@ __all__ = [
     "Budget",
     "BudgetMeter",
     "QueryResult",
+    "RungFailure",
     "solve_with_fallback",
     "InputSuite",
+    # fault-isolated query service
+    "QueryEngine",
+    "QuerySpec",
+    "ServiceResult",
+    "AttemptRecord",
+    "CircuitBreaker",
     # language
     "Zen",
     "if_",
@@ -162,4 +183,10 @@ __all__ = [
     "ZenDepthError",
     "ZenBudgetExceeded",
     "ZenUnsoundResultError",
+    "ZenServiceError",
+    "ZenWorkerCrash",
+    "ZenQueryTimeout",
+    "ZenCircuitOpen",
+    "ZenQueryFailed",
+    "ZenBackendDisagreement",
 ]

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, List, Optional, Tuple
 
-from ..core import ZenFunction
+from ..core import ZenFunction, start_meter
 from ..lang import Zen
 from ..network.device import Device, Interface, forward_along_path
 from ..network.packet import Packet
@@ -75,13 +75,20 @@ def find_reachable_packet(
     backend: str = "sat",
     max_hops: int = 8,
     extra_property=None,
+    budget=None,
 ) -> Optional[ReachabilityResult]:
     """Find a packet deliverable from `source` to `target` on any path.
 
     `extra_property` optionally constrains the input packet:
     ``lambda pkt: Zen<bool>``.  Iterates over all simple paths and
     issues one ``find`` per path (the Anteater strategy).
+
+    `budget` (a :class:`~repro.core.budget.Budget` or running meter)
+    is shared across *all* per-path solver calls, so the analysis as a
+    whole — not each path — is bounded; exhaustion raises
+    :class:`~repro.errors.ZenBudgetExceeded`.
     """
+    meter = start_meter(budget)
     for path in enumerate_paths(network, source, target, max_hops):
         fn = ZenFunction(
             lambda p, path=path: forward_along_path(path, p),
@@ -95,7 +102,7 @@ def find_reachable_packet(
                 prop = prop & extra_property(pkt)
             return prop
 
-        witness = fn.find(delivered, backend=backend)
+        witness = fn.find(delivered, backend=backend, budget=meter)
         if witness is not None:
             return ReachabilityResult(
                 packet=witness,
@@ -110,11 +117,18 @@ def verify_isolation(
     target: Device,
     backend: str = "sat",
     max_hops: int = 8,
+    budget=None,
 ) -> Optional[ReachabilityResult]:
     """Check that *no* packet reaches target from source.
 
     Returns None when isolated, otherwise a counterexample witness.
+    `budget` bounds the whole check (shared across paths).
     """
     return find_reachable_packet(
-        network, source, target, backend=backend, max_hops=max_hops
+        network,
+        source,
+        target,
+        backend=backend,
+        max_hops=max_hops,
+        budget=budget,
     )

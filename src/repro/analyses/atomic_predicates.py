@@ -15,7 +15,14 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Sequence, Set
 
-from ..core import StateSet, TransformerContext, ZenFunction, default_context
+from ..core import (
+    StateSet,
+    TransformerContext,
+    ZenFunction,
+    default_context,
+    metered,
+    start_meter,
+)
 from ..errors import ZenTypeError
 
 
@@ -23,27 +30,34 @@ def atomic_predicates(
     annotation: Any,
     predicates: Sequence[ZenFunction],
     context: Optional[TransformerContext] = None,
+    budget=None,
 ) -> List[StateSet]:
     """Compute the atomic predicates of a family of boolean functions.
 
     Returns a list of pairwise-disjoint, non-empty state sets whose
     union is the universe, refined just enough that every input
     predicate is a union of them (the minimal such partition).
+
+    `budget` bounds the whole refinement (predicate compilation *and*
+    the set algebra, which is where adversarial families blow up);
+    exhaustion raises :class:`~repro.errors.ZenBudgetExceeded`.
     """
     if context is None:
         context = default_context()
+    meter = start_meter(budget)
     atoms = [context.universe(annotation)]
     for predicate in predicates:
-        pred_set = context.from_predicate(predicate)
-        refined: List[StateSet] = []
-        for atom in atoms:
-            inside = atom.intersect(pred_set)
-            outside = atom.difference(pred_set)
-            if not inside.is_empty():
-                refined.append(inside)
-            if not outside.is_empty():
-                refined.append(outside)
-        atoms = refined
+        pred_set = context.from_predicate(predicate, budget=meter)
+        with metered(context.manager, meter):
+            refined: List[StateSet] = []
+            for atom in atoms:
+                inside = atom.intersect(pred_set)
+                outside = atom.difference(pred_set)
+                if not inside.is_empty():
+                    refined.append(inside)
+                if not outside.is_empty():
+                    refined.append(outside)
+            atoms = refined
     return atoms
 
 
@@ -51,29 +65,33 @@ def predicate_as_atoms(
     predicate: ZenFunction,
     atoms: Sequence[StateSet],
     context: Optional[TransformerContext] = None,
+    budget=None,
 ) -> Set[int]:
     """Express a predicate as the set of atom indices it covers.
 
     Raises if the predicate is not a union of the given atoms (i.e.
     the atoms were computed for a different predicate family).
+    `budget` bounds the compilation and the coverage check.
     """
     if context is None:
         context = default_context()
-    pred_set = context.from_predicate(predicate)
+    meter = start_meter(budget)
+    pred_set = context.from_predicate(predicate, budget=meter)
     covered: Set[int] = set()
     residual = pred_set
-    for index, atom in enumerate(atoms):
-        inter = atom.intersect(pred_set)
-        if inter.is_empty():
-            continue
-        if not atom.difference(pred_set).is_empty():
-            raise ZenTypeError(
-                "predicate splits an atom; recompute atoms including it"
-            )
-        covered.add(index)
-        residual = residual.difference(atom)
-    if not residual.is_empty():
-        raise ZenTypeError("predicate not covered by the given atoms")
+    with metered(context.manager, meter):
+        for index, atom in enumerate(atoms):
+            inter = atom.intersect(pred_set)
+            if inter.is_empty():
+                continue
+            if not atom.difference(pred_set).is_empty():
+                raise ZenTypeError(
+                    "predicate splits an atom; recompute atoms including it"
+                )
+            covered.add(index)
+            residual = residual.difference(atom)
+        if not residual.is_empty():
+            raise ZenTypeError("predicate not covered by the given atoms")
     return covered
 
 
@@ -81,6 +99,7 @@ def atom_count(
     annotation: Any,
     predicates: Sequence[ZenFunction],
     context: Optional[TransformerContext] = None,
+    budget=None,
 ) -> int:
     """Number of atomic predicates for a predicate family."""
-    return len(atomic_predicates(annotation, predicates, context))
+    return len(atomic_predicates(annotation, predicates, context, budget))

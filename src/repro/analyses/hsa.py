@@ -12,7 +12,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
 
-from ..core import StateSet, TransformerContext, ZenFunction, default_context
+from ..core import (
+    StateSet,
+    TransformerContext,
+    ZenFunction,
+    default_context,
+    start_meter,
+)
 from ..lang import ZOption
 from ..network.device import Interface, fwd_in, fwd_out
 from ..network.packet import Packet
@@ -35,10 +41,16 @@ class PathSet:
 
 
 class _TransformerCache:
-    """Builds and caches in/out packet-set transformers per interface."""
+    """Builds and caches in/out packet-set transformers per interface.
 
-    def __init__(self, context: TransformerContext):
+    One shared budget meter covers every transformer build and set
+    push of an exploration, so the whole analysis — not each hop —
+    lives under a single deadline/node cap.
+    """
+
+    def __init__(self, context: TransformerContext, meter=None):
         self.context = context
+        self.meter = meter
         self._in: Dict[int, object] = {}
         self._out: Dict[int, object] = {}
         self._some: Optional[StateSet] = None
@@ -49,11 +61,11 @@ class _TransformerCache:
             has_fn = ZenFunction(
                 lambda o: o.has_value(), [ZOption[Packet]], name="has_value"
             )
-            self._some = self.context.from_predicate(has_fn)
+            self._some = self.context.from_predicate(has_fn, budget=self.meter)
             value_fn = ZenFunction(
                 lambda o: o.value(), [ZOption[Packet]], name="value"
             )
-            self._value = value_fn.transformer(self.context)
+            self._value = value_fn.transformer(self.context, budget=self.meter)
         return self._some, self._value
 
     def _survivors(self, transformer) -> "callable":
@@ -61,8 +73,10 @@ class _TransformerCache:
         some_set, value_t = self._option_machinery()
 
         def push(packets: StateSet) -> StateSet:
-            options = transformer.transform_forward(packets)
-            return value_t.transform_forward(options.intersect(some_set))
+            options = transformer.transform_forward(packets, budget=self.meter)
+            return value_t.transform_forward(
+                options.intersect(some_set), budget=self.meter
+            )
 
         return push
 
@@ -72,7 +86,9 @@ class _TransformerCache:
             fn = ZenFunction(
                 lambda p, i=intf: fwd_in(i, p), [Packet], name=f"in:{intf.name}"
             )
-            self._in[key] = self._survivors(fn.transformer(self.context))
+            self._in[key] = self._survivors(
+                fn.transformer(self.context, budget=self.meter)
+            )
         return self._in[key]
 
     def outbound(self, intf: Interface):
@@ -83,7 +99,9 @@ class _TransformerCache:
                 [Packet],
                 name=f"out:{intf.name}",
             )
-            self._out[key] = self._survivors(fn.transformer(self.context))
+            self._out[key] = self._survivors(
+                fn.transformer(self.context, budget=self.meter)
+            )
         return self._out[key]
 
 
@@ -92,6 +110,7 @@ def hsa_explore(
     packets: StateSet,
     context: Optional[TransformerContext] = None,
     max_depth: int = 16,
+    budget=None,
 ) -> Iterator[PathSet]:
     """Explore all paths a packet set can take from an entry interface.
 
@@ -99,10 +118,15 @@ def hsa_explore(
     stops moving: it is dropped at the current device, or it leaves the
     network through an unlinked interface.  This is the algorithm of
     Figure 8, with transformers computing the per-hop packet sets.
+
+    `budget` (a :class:`~repro.core.budget.Budget` or running meter)
+    governs the *entire* exploration — every transformer build and
+    per-hop set operation charges one shared meter — raising
+    :class:`~repro.errors.ZenBudgetExceeded` on exhaustion.
     """
     if context is None:
         context = default_context()
-    cache = _TransformerCache(context)
+    cache = _TransformerCache(context, meter=start_meter(budget))
     queue: List[Tuple[Tuple[str, ...], Interface, StateSet, int]] = [
         ((entry.name,), entry, packets, 0)
     ]
@@ -140,6 +164,7 @@ def reachable_sets(
     context: Optional[TransformerContext] = None,
     max_depth: int = 16,
     packets: Optional[StateSet] = None,
+    budget=None,
 ) -> List[PathSet]:
     """All terminal path sets from an entry interface.
 
@@ -147,13 +172,15 @@ def reachable_sets(
     create cross-field correlations (e.g. tunnel encapsulation copying
     ports between headers), pass a constrained entry set — fully
     symbolic correlated fields are the classic worst case for BDD
-    packet sets.
+    packet sets.  `budget` bounds the whole exploration.
     """
     if context is None:
         context = default_context()
     if packets is None:
         packets = context.universe(Packet)
-    return list(hsa_explore(entry, packets, context, max_depth=max_depth))
+    return list(
+        hsa_explore(entry, packets, context, max_depth=max_depth, budget=budget)
+    )
 
 
 def reachable_between(
@@ -162,14 +189,15 @@ def reachable_between(
     exit_intf: Interface,
     context: Optional[TransformerContext] = None,
     max_depth: int = 16,
+    budget=None,
 ) -> StateSet:
     """The set of packets that can travel from `entry` out of
-    `exit_intf` along some path."""
+    `exit_intf` along some path.  `budget` bounds the exploration."""
     if context is None:
         context = default_context()
     universe = context.universe(Packet)
     result = context.empty_set(Packet)
-    for path_set in hsa_explore(entry, universe, context, max_depth):
+    for path_set in hsa_explore(entry, universe, context, max_depth, budget):
         if path_set.status == "stopped" and path_set.path[-1] == exit_intf.name:
             result = result.union(path_set.packets)
     return result

@@ -35,6 +35,10 @@ class BddModel:
 class BddBackend:
     """Boolean backend over the ROBDD manager."""
 
+    #: Stable backend identifier used by the fallback ladder, the
+    #: query service's circuit breakers, and attempt records.
+    name = "bdd"
+
     def __init__(self, manager: Optional[Bdd] = None) -> None:
         self._manager = manager if manager is not None else Bdd()
         self._var_names: Dict[int, str] = {}

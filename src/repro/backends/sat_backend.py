@@ -34,6 +34,10 @@ class SatModel:
 class SatBackend:
     """Boolean backend over an and-inverter graph + CDCL solver."""
 
+    #: Stable backend identifier used by the fallback ladder, the
+    #: query service's circuit breakers, and attempt records.
+    name = "sat"
+
     def __init__(self) -> None:
         self._aig = Aig()
         self._budget = None

@@ -5,6 +5,7 @@ from .budget import (
     Budget,
     BudgetMeter,
     QueryResult,
+    RungFailure,
     metered,
     solve_with_fallback,
     start_meter,
@@ -35,6 +36,7 @@ __all__ = [
     "Budget",
     "BudgetMeter",
     "QueryResult",
+    "RungFailure",
     "solve_with_fallback",
     "start_meter",
     "metered",

@@ -42,6 +42,7 @@ __all__ = [
     "Budget",
     "BudgetMeter",
     "QueryResult",
+    "RungFailure",
     "start_meter",
     "metered",
     "solve_with_fallback",
@@ -244,6 +245,31 @@ class metered:
 
 
 @dataclass(frozen=True)
+class RungFailure:
+    """A structured record of one abandoned rung of the fallback ladder.
+
+    Retry and circuit-breaker policies need to distinguish *budget
+    exhaustion* (try again with more resources, or shed load) from
+    *genuine solver errors* (a broken encoding that no retry will fix),
+    so each abandoned rung records the exception type and message, not
+    just where it happened:
+
+    * ``backend`` / ``max_list_length`` — the rung that was tried;
+    * ``error_type`` — the exception class name
+      (e.g. ``"ZenBudgetExceeded"``);
+    * ``message`` — ``str(exception)``;
+    * ``reason``  — the structured budget reason (``"deadline"``,
+      ``"conflicts"``, ...) when the error carries one, else ``""``.
+    """
+
+    backend: str
+    max_list_length: int
+    error_type: str
+    message: str
+    reason: str = ""
+
+
+@dataclass(frozen=True)
 class QueryResult:
     """The structured answer of :func:`solve_with_fallback`.
 
@@ -254,7 +280,9 @@ class QueryResult:
     * ``stats``        — the answering attempt's meter statistics;
     * ``degradations`` — human-readable record of every rung that was
       abandoned before the answer (empty when the preferred
-      configuration answered directly).
+      configuration answered directly);
+    * ``failures``     — the same abandoned rungs as structured
+      :class:`RungFailure` records (exception type, message, reason).
     """
 
     answer: Any
@@ -262,6 +290,7 @@ class QueryResult:
     max_list_length: int
     stats: Dict[str, Any] = field(default_factory=dict)
     degradations: Tuple[str, ...] = ()
+    failures: Tuple[RungFailure, ...] = ()
 
     @property
     def degraded(self) -> bool:
@@ -272,6 +301,9 @@ class QueryResult:
 def _backend_name(backend: Any) -> str:
     if isinstance(backend, str):
         return backend
+    name = getattr(backend, "name", None)
+    if isinstance(name, str) and name:
+        return name
     return type(backend).__name__.replace("Backend", "").lower()
 
 
@@ -314,6 +346,7 @@ def solve_with_fallback(
         rungs.extend((b, depth) for b in backends)
 
     degradations: list = []
+    failures: list = []
     last_error: Optional[ZenBudgetExceeded] = None
     for backend, depth in rungs:
         meter = start_meter(budget)
@@ -326,9 +359,19 @@ def solve_with_fallback(
                 validate=validate,
             )
         except ZenBudgetExceeded as error:
+            name = _backend_name(backend)
             degradations.append(
-                f"{_backend_name(backend)}@list<={depth}: "
-                f"budget exceeded ({error.reason})"
+                f"{name}@list<={depth}: budget exceeded "
+                f"({error.reason}): {type(error).__name__}: {error}"
+            )
+            failures.append(
+                RungFailure(
+                    backend=name,
+                    max_list_length=depth,
+                    error_type=type(error).__name__,
+                    message=str(error),
+                    reason=error.reason,
+                )
             )
             last_error = error
             continue
@@ -338,7 +381,9 @@ def solve_with_fallback(
             max_list_length=depth,
             stats=meter.stats() if meter is not None else {},
             degradations=tuple(degradations),
+            failures=tuple(failures),
         )
     assert last_error is not None
     last_error.degradations = tuple(degradations)
+    last_error.failures = tuple(failures)
     raise last_error

@@ -91,6 +91,85 @@ class ZenFunction:
 
     # ------------------------------------------------------------------
 
+    @classmethod
+    def from_ref(cls, ref: Any, *args: Any, **kwargs: Any) -> "ZenFunction":
+        """Resolve a picklable reference into a :class:`ZenFunction`.
+
+        ``ref`` is either a ``"package.module:attribute"`` import path
+        or a callable.  The resolved attribute may be a ZenFunction, a
+        fully annotated plain function (wrapped via
+        :func:`zen_function`), or a *builder* — a callable invoked with
+        ``*args``/``**kwargs`` whose result is coerced the same way.
+
+        This is the hook the fault-isolated query service uses: a
+        ZenFunction itself closes over lambdas and a built expression
+        DAG and cannot cross a process boundary, but a reference plus
+        builder arguments can, and the worker reconstructs the model on
+        its side.
+        """
+        target = ref
+        if isinstance(target, str):
+            module_name, _, attr_path = target.partition(":")
+            if not module_name or not attr_path:
+                raise ZenTypeError(
+                    f"expected a 'module:attribute' reference, got {ref!r}"
+                )
+            import importlib
+
+            try:
+                target = importlib.import_module(module_name)
+            except ImportError as error:
+                raise ZenTypeError(
+                    f"cannot import module {module_name!r} for {ref!r}: {error}"
+                ) from error
+            for part in attr_path.split("."):
+                try:
+                    target = getattr(target, part)
+                except AttributeError as error:
+                    raise ZenTypeError(
+                        f"cannot resolve {ref!r}: {error}"
+                    ) from error
+        if isinstance(target, cls):
+            if args or kwargs:
+                raise ZenTypeError(
+                    f"{ref!r} is already a ZenFunction; builder arguments "
+                    "are only valid for builder callables"
+                )
+            return target
+        if callable(target) and (args or kwargs):
+            built = target(*args, **kwargs)
+            if isinstance(built, cls):
+                return built
+            if callable(built):
+                return zen_function(built)
+            raise ZenTypeError(
+                f"builder {ref!r} must return a ZenFunction or an "
+                f"annotated callable, got {built!r}"
+            )
+        if callable(target):
+            # Prefer treating it as a builder (zero-arg factory); fall
+            # back to annotation wrapping for plain model functions.
+            try:
+                built = target()
+            except TypeError:
+                return zen_function(target)
+            if isinstance(built, cls):
+                return built
+            if callable(built):
+                return zen_function(built)
+            return zen_function(target)
+        raise ZenTypeError(
+            f"cannot build a ZenFunction from {ref!r} ({target!r})"
+        )
+
+    def __reduce__(self):
+        raise ZenTypeError(
+            f"ZenFunction {self.name!r} is not picklable (it closes over "
+            "a built expression DAG); ship a QuerySpec with a "
+            "'module:attribute' builder reference instead — the worker "
+            "rebuilds the model via ZenFunction.from_ref"
+        )
+
     @property
     def arg_types(self) -> List[ty.ZenType]:
         """Zen types of the function's arguments."""

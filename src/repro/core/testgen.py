@@ -42,6 +42,16 @@ class InputSuite(List[Any]):
         self.goals_explored = goals_explored
         self.goals_total = goals_total
 
+    def __reduce__(self):
+        # Explicit reduction so suites survive a process boundary (the
+        # query service ships them from worker to parent) with the
+        # coverage metadata intact, independent of how list subclass
+        # pickling treats instance dicts.
+        return (
+            type(self),
+            (list(self), self.truncated, self.goals_explored, self.goals_total),
+        )
+
 
 class _TracingEvaluator(SymbolicEvaluator):
     """A symbolic evaluator that records branch-decision bits."""

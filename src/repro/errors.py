@@ -57,6 +57,89 @@ class ZenBudgetExceeded(ZenError, TimeoutError):
         self.budget = budget
         self.stats = dict(stats or {})
         self.degradations: tuple = ()
+        self.failures: tuple = ()
+
+
+class ZenServiceError(ZenError, RuntimeError):
+    """Base class for failures of the fault-isolated query service.
+
+    Everything the :class:`~repro.service.QueryEngine` raises derives
+    from this, so callers can fence off *execution-layer* trouble
+    (crashed workers, timeouts, open breakers) from *model-layer*
+    errors (type errors, unsound encodings) with one except clause.
+    """
+
+
+class ZenWorkerCrash(ZenServiceError):
+    """A subprocess worker died mid-query (crash, abort, or OOM kill).
+
+    ``pid`` is the dead worker and ``exitcode`` the raw process exit
+    status (negative = killed by that signal number).
+    """
+
+    def __init__(self, message, pid=None, exitcode=None):
+        super().__init__(message)
+        self.pid = pid
+        self.exitcode = exitcode
+
+
+class ZenQueryTimeout(ZenServiceError, TimeoutError):
+    """A query blew its *hard* (kill-based) wall-clock deadline.
+
+    Unlike :class:`ZenBudgetExceeded` — which relies on the solver
+    cooperating with checkpoint hooks — this deadline is enforced by
+    the parent killing the worker process, so it fires even inside a
+    non-checkpointed kernel or a wedged interpreter.
+    """
+
+    def __init__(self, message, timeout_s=None, pid=None):
+        super().__init__(message)
+        self.timeout_s = timeout_s
+        self.pid = pid
+
+
+class ZenCircuitOpen(ZenServiceError):
+    """Every backend eligible for a query had an open circuit breaker.
+
+    The query was shed without executing; retry after the breaker
+    cooldown, or consult ``attempts`` for the per-backend shed record.
+    """
+
+    def __init__(self, message, attempts=()):
+        super().__init__(message)
+        self.attempts = tuple(attempts)
+
+
+class ZenQueryFailed(ZenServiceError):
+    """A query exhausted its whole retry/fallback ladder.
+
+    ``attempts`` is the full per-attempt history
+    (:class:`~repro.service.AttemptRecord`): which worker ran each
+    attempt, how it failed, what backoff was applied, and the breaker
+    state at the time — the observability record the engine keeps for
+    every query.
+    """
+
+    def __init__(self, message, attempts=(), label=""):
+        super().__init__(message)
+        self.attempts = tuple(attempts)
+        self.label = label
+
+
+class ZenBackendDisagreement(ZenServiceError):
+    """The differential oracle caught the backends contradicting.
+
+    Both the SAT and BDD workers completed the same query but one
+    reported a (concrete-replay-validated) witness while the other
+    reported none — an encoding bug in at least one backend.
+    ``answers`` maps backend name to the answer it returned and
+    ``attempts`` holds both sides' execution history.
+    """
+
+    def __init__(self, message, answers=None, attempts=()):
+        super().__init__(message)
+        self.answers = dict(answers or {})
+        self.attempts = tuple(attempts)
 
 
 class ZenUnsoundResultError(ZenError, RuntimeError):

@@ -1,0 +1,40 @@
+"""Fault-isolated parallel query execution (the service layer).
+
+PR 2's budgets are *cooperative*: they rely on the solver reaching a
+checkpoint.  This package adds the execution layer that does not —
+queries run in subprocess workers with kill-based wall-clock limits
+and ``RLIMIT_AS`` memory caps, crashed workers are respawned, flaky
+outcomes are retried with exponential backoff + jitter, repeatedly
+failing backends are shed by per-backend circuit breakers onto the
+fallback ladder, and a differential oracle cross-checks the SAT and
+BDD backends against each other.
+
+Public surface:
+
+* :class:`QuerySpec` — picklable description of one query;
+* :class:`QueryEngine` — the worker pool / scheduler;
+* :class:`ServiceResult` / :class:`AttemptRecord` — answers with their
+  full execution history;
+* :class:`CircuitBreaker` / :class:`BreakerTransition` — the
+  per-backend breaker state machine;
+* :func:`run_spec` — in-process execution of a spec (dry runs, and
+  what the worker itself calls).
+"""
+
+from .breaker import CLOSED, HALF_OPEN, OPEN, BreakerTransition, CircuitBreaker
+from .engine import AttemptRecord, QueryEngine, ServiceResult
+from .spec import QuerySpec, resolve_ref, run_spec
+
+__all__ = [
+    "QueryEngine",
+    "QuerySpec",
+    "ServiceResult",
+    "AttemptRecord",
+    "CircuitBreaker",
+    "BreakerTransition",
+    "CLOSED",
+    "OPEN",
+    "HALF_OPEN",
+    "resolve_ref",
+    "run_spec",
+]

@@ -1,0 +1,154 @@
+"""Per-backend circuit breakers for the query engine.
+
+A breaker tracks consecutive failures of one backend and implements
+the classic three-state machine:
+
+* **closed** — traffic flows; each failure increments a consecutive
+  counter, each success resets it.  Hitting ``failure_threshold``
+  consecutive failures *trips* the breaker open.
+* **open** — traffic is shed (queries fall through to the next rung of
+  the fallback ladder without touching the backend).  After
+  ``cooldown_s`` the next :meth:`allow` transitions to half-open.
+* **half-open** — exactly one probe query is admitted.  Success closes
+  the breaker; failure re-opens it and restarts the cooldown.
+
+The engine is single-threaded (one scheduler loop owns all breakers),
+so no locking is needed.  The clock is injectable for deterministic
+tests.  Every transition is recorded with its timestamp and reason —
+part of the attempt-history observability contract.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Tuple
+
+from ..errors import ZenTypeError
+
+__all__ = ["CircuitBreaker", "BreakerTransition", "CLOSED", "OPEN", "HALF_OPEN"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+@dataclass(frozen=True)
+class BreakerTransition:
+    """One state change of a breaker: when, from, to, and why."""
+
+    at: float
+    from_state: str
+    to_state: str
+    reason: str
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker for one backend."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        cooldown_s: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+        name: str = "",
+    ):
+        if failure_threshold < 1:
+            raise ZenTypeError(
+                f"failure_threshold must be >= 1, got {failure_threshold!r}"
+            )
+        if cooldown_s < 0:
+            raise ZenTypeError(f"cooldown_s must be >= 0, got {cooldown_s!r}")
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._transitions: List[BreakerTransition] = []
+        self.trips = 0  # closed/half-open -> open transitions
+        self.shed = 0  # queries rejected while open
+
+    # ------------------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        """Current state, advancing open → half-open when cooled down."""
+        self._maybe_half_open()
+        return self._state
+
+    @property
+    def transitions(self) -> Tuple[BreakerTransition, ...]:
+        """Every state change so far, in order."""
+        return tuple(self._transitions)
+
+    def _move(self, to_state: str, reason: str) -> None:
+        if to_state == self._state:
+            return
+        self._transitions.append(
+            BreakerTransition(self._clock(), self._state, to_state, reason)
+        )
+        if to_state == OPEN:
+            self.trips += 1
+            self._opened_at = self._clock()
+        self._state = to_state
+
+    def _maybe_half_open(self) -> None:
+        if self._state == OPEN and (
+            self._clock() - self._opened_at >= self.cooldown_s
+        ):
+            self._move(HALF_OPEN, f"cooldown of {self.cooldown_s}s elapsed")
+
+    # ------------------------------------------------------------------
+
+    def allow(self) -> bool:
+        """May a query be sent to this backend right now?
+
+        Open breakers shed (return False, counted); half-open breakers
+        admit the probe.
+        """
+        self._maybe_half_open()
+        if self._state == OPEN:
+            self.shed += 1
+            return False
+        return True
+
+    def record_success(self) -> None:
+        """A query on this backend succeeded."""
+        self._consecutive_failures = 0
+        if self._state == HALF_OPEN:
+            self._move(CLOSED, "half-open probe succeeded")
+        # A success while OPEN can only come from a query admitted
+        # before the trip; it does not close the breaker early.
+
+    def record_failure(self, reason: str = "") -> None:
+        """A query on this backend failed (crash, timeout, OOM, budget)."""
+        self._maybe_half_open()
+        self._consecutive_failures += 1
+        why = reason or "failure"
+        if self._state == HALF_OPEN:
+            self._move(OPEN, f"half-open probe failed ({why})")
+        elif (
+            self._state == CLOSED
+            and self._consecutive_failures >= self.failure_threshold
+        ):
+            self._move(
+                OPEN,
+                f"{self._consecutive_failures} consecutive failures "
+                f"(last: {why})",
+            )
+
+    def snapshot(self) -> dict:
+        """Picklable observability snapshot for results and benchmarks."""
+        return {
+            "name": self.name,
+            "state": self.state,
+            "consecutive_failures": self._consecutive_failures,
+            "trips": self.trips,
+            "shed": self.shed,
+            "transitions": [
+                (t.at, t.from_state, t.to_state, t.reason)
+                for t in self._transitions
+            ],
+        }

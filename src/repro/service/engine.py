@@ -1,0 +1,889 @@
+"""The fault-isolated parallel query engine.
+
+:class:`QueryEngine` executes :class:`~repro.service.spec.QuerySpec`
+queries in a pool of subprocess workers, adding the guarantees the
+in-process API cannot give:
+
+* **hard limits** — wall-clock deadlines are enforced by killing the
+  worker (SIGKILL, not a cooperative checkpoint) and RSS caps by
+  ``RLIMIT_AS`` inside the worker, so a runaway CDCL loop, a BDD
+  blowup in a non-checkpointed kernel, or a wedged interpreter cannot
+  take the parent down;
+* **crash isolation + respawn** — a worker that dies (``os._exit``,
+  native abort, OOM kill) is observed via pipe EOF and its exit
+  status, and a fresh worker replaces it before the next attempt;
+* **retries with exponential backoff + jitter** — crash/timeout/OOM
+  outcomes are retried up to ``retries`` times per backend rung;
+* **per-backend circuit breakers** — N consecutive failures open the
+  breaker and shed that backend's load onto the next rung of the
+  fallback ladder (the same backend ladder as
+  :func:`~repro.core.budget.solve_with_fallback`), half-opening after
+  a cooldown;
+* **a differential oracle** — :meth:`QueryEngine.run_differential`
+  races the SAT and BDD backends on the same query in parallel
+  workers; each answer is still concrete-replay-validated in its
+  worker (PR 2), and if both complete with contradictory sat/unsat
+  verdicts the engine raises
+  :class:`~repro.errors.ZenBackendDisagreement`.
+
+Every result carries its full attempt history — worker pids, attempt
+counts, backoff delays, breaker states — for observability.
+
+The engine is a single-threaded scheduler: one loop owns the pool,
+multiplexes queries over idle workers, and watches deadlines.  It is
+not itself thread-safe; share specs, not engines, across threads.
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+import time
+from dataclasses import dataclass, field, replace
+from multiprocessing import connection, get_all_start_methods, get_context
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..errors import (
+    ZenBackendDisagreement,
+    ZenCircuitOpen,
+    ZenQueryFailed,
+    ZenServiceError,
+    ZenTypeError,
+)
+from .breaker import CircuitBreaker
+from .spec import QuerySpec
+from .worker import worker_main
+
+__all__ = ["AttemptRecord", "QueryEngine", "ServiceResult"]
+
+#: Exception types that indicate a misconfigured spec or model, not a
+#: backend failure: no retry, no ladder, no breaker charge.
+_CONFIG_ERRORS = frozenset(
+    {"ZenTypeError", "ZenArityError", "ZenDepthError"}
+)
+
+#: Outcomes caused by the execution substrate rather than the query;
+#: these are retried (with backoff) on the same backend.
+_RETRYABLE = frozenset({"crash", "timeout", "oom"})
+
+
+@dataclass(frozen=True)
+class AttemptRecord:
+    """One attempt (or shed decision) in a query's execution history.
+
+    * ``backend`` / ``attempt`` — the rung and the 1-based attempt
+      number within it;
+    * ``worker_pid`` — the subprocess that ran it (None for sheds);
+    * ``outcome`` — ``ok`` / ``crash`` / ``timeout`` / ``oom`` /
+      ``budget_exceeded`` / ``error`` / ``shed`` / ``cancelled``;
+    * ``error_type`` / ``error`` — structured failure identity and
+      message (empty on success);
+    * ``backoff_s`` — the backoff delay scheduled *after* this attempt
+      (0 when it was the last attempt on its rung);
+    * ``elapsed_s`` — wall-clock duration of the attempt;
+    * ``breaker_state`` — the backend's breaker state right after the
+      outcome was recorded.
+    """
+
+    backend: str
+    attempt: int
+    worker_pid: Optional[int]
+    outcome: str
+    error_type: str = ""
+    error: str = ""
+    backoff_s: float = 0.0
+    elapsed_s: float = 0.0
+    breaker_state: str = ""
+
+
+@dataclass(frozen=True)
+class ServiceResult:
+    """A completed query plus its observability record.
+
+    ``answer`` is exactly what the in-process analysis would have
+    returned (already concrete-replay-validated for find/verify when
+    the spec's ``validate`` flag is on).  ``attempts`` is the full
+    :class:`AttemptRecord` history, ``stats`` the budget meter's final
+    snapshot from the answering worker, and ``elapsed_s`` the query's
+    total wall time in the engine including retries and backoff.
+
+    For differential-oracle runs, ``agreed`` is True when both
+    backends completed and concurred (None when only one side
+    finished) and ``answers`` maps each backend to its answer.
+    """
+
+    answer: Any
+    backend: str
+    kind: str
+    label: str = ""
+    function: str = ""
+    worker_pid: Optional[int] = None
+    attempts: Tuple[AttemptRecord, ...] = ()
+    stats: Dict[str, Any] = field(default_factory=dict)
+    elapsed_s: float = 0.0
+    agreed: Optional[bool] = None
+    answers: Optional[Dict[str, Any]] = None
+
+    @property
+    def retried(self) -> bool:
+        """True when more than one execution attempt was needed."""
+        return sum(1 for a in self.attempts if a.outcome != "shed") > 1
+
+
+class _WorkerHandle:
+    """Owns one worker process and its pipe; respawnable in place."""
+
+    def __init__(self, ctx, config: Dict[str, Any], index: int):
+        self._ctx = ctx
+        self._config = config
+        self.index = index
+        self.process = None
+        self.conn = None
+        self.restarts = -1  # first ensure() is a spawn, not a restart
+
+    @property
+    def alive(self) -> bool:
+        return self.process is not None and self.process.is_alive()
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self.process.pid if self.process is not None else None
+
+    def ensure(self) -> None:
+        """Spawn (or respawn) the worker if it is not running."""
+        if self.alive:
+            return
+        self.reap()
+        parent_conn, child_conn = self._ctx.Pipe()
+        self.process = self._ctx.Process(
+            target=worker_main,
+            args=(child_conn, self._config),
+            daemon=True,
+            name=f"repro-query-worker-{self.index}",
+        )
+        self.process.start()
+        child_conn.close()  # parent keeps one end; EOF now detects death
+        self.conn = parent_conn
+        self.restarts += 1
+
+    def kill(self) -> Optional[int]:
+        """SIGKILL the worker (if alive), reap it, return the exitcode."""
+        exitcode = None
+        if self.process is not None:
+            if self.process.is_alive():
+                self.process.kill()
+            self.process.join(timeout=5.0)
+            exitcode = self.process.exitcode
+        self.reap()
+        return exitcode
+
+    def reap(self) -> None:
+        """Release pipe and process objects of a dead worker."""
+        if self.conn is not None:
+            try:
+                self.conn.close()
+            except OSError:
+                pass
+            self.conn = None
+        self.process = None
+
+    def shutdown(self) -> None:
+        """Polite stop: sentinel, short join, then kill."""
+        if self.process is None:
+            return
+        if self.conn is not None and self.process.is_alive():
+            try:
+                self.conn.send(None)
+            except (OSError, ValueError):
+                pass
+        self.process.join(timeout=1.0)
+        self.kill()
+
+
+class _Task:
+    """Mutable scheduler state for one query."""
+
+    __slots__ = (
+        "index",
+        "spec",
+        "ladder",
+        "ladder_pos",
+        "attempt",
+        "seq",
+        "ready_at",
+        "deadline",
+        "submitted_at",
+        "started_at",
+        "finished_at",
+        "attempts",
+        "result",
+        "error",
+        "group",
+        "done",
+    )
+
+    def __init__(self, index: int, spec: QuerySpec, ladder: Sequence[str]):
+        self.index = index
+        self.spec = spec
+        self.ladder = list(ladder)
+        self.ladder_pos = 0
+        self.attempt = 0  # retries used on the current rung
+        self.seq = -1
+        self.ready_at = 0.0
+        self.deadline: Optional[float] = None
+        self.submitted_at = 0.0
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        self.attempts: List[AttemptRecord] = []
+        self.result: Optional[ServiceResult] = None
+        self.error: Optional[ZenServiceError] = None
+        self.group: Optional[Dict[str, Any]] = None
+        self.done = False
+
+    @property
+    def backend(self) -> str:
+        # Clamp: a task whose final rung just failed sits one past the
+        # end until the scheduler finish-fails it.
+        return self.ladder[min(self.ladder_pos, len(self.ladder) - 1)]
+
+    def finish(self, now: float) -> None:
+        self.finished_at = now
+        self.done = True
+
+
+class QueryEngine:
+    """A pool of subprocess workers executing verification queries.
+
+    Use as a context manager (workers are killed on exit)::
+
+        with QueryEngine(pool_size=4) as engine:
+            result = engine.run(QuerySpec(builder="mymodels:acl_model"))
+            oracle = engine.run_differential(
+                QuerySpec(builder="mymodels:acl_model")
+            )
+    """
+
+    def __init__(
+        self,
+        pool_size: int = 2,
+        *,
+        retries: int = 2,
+        backoff_base_s: float = 0.05,
+        backoff_factor: float = 2.0,
+        backoff_max_s: float = 2.0,
+        jitter_s: float = 0.02,
+        breaker_threshold: int = 3,
+        breaker_cooldown_s: float = 5.0,
+        default_timeout_s: Optional[float] = 60.0,
+        backends: Sequence[str] = ("sat", "bdd"),
+        start_method: Optional[str] = None,
+        seed: int = 0,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        if pool_size < 1:
+            raise ZenTypeError(f"pool_size must be >= 1, got {pool_size!r}")
+        if retries < 0:
+            raise ZenTypeError(f"retries must be >= 0, got {retries!r}")
+        if not backends:
+            raise ZenTypeError("QueryEngine needs at least one backend")
+        if start_method is None:
+            # fork shares the parent's imported modules (cheap spawn,
+            # builder refs always resolve); spawn is the portable
+            # fallback and gets sys.path shipped in the worker config.
+            methods = get_all_start_methods()
+            start_method = "fork" if "fork" in methods else methods[0]
+        self.pool_size = pool_size
+        self.retries = retries
+        self.backoff_base_s = backoff_base_s
+        self.backoff_factor = backoff_factor
+        self.backoff_max_s = backoff_max_s
+        self.jitter_s = jitter_s
+        self.default_timeout_s = default_timeout_s
+        self.backends = tuple(backends)
+        self._clock = clock
+        self._sleep = sleep
+        self._rng = random.Random(seed)
+        self._seq = 0
+        self._closed = False
+        self._ctx = get_context(start_method)
+        config = {"sys_path": list(sys.path)}
+        self._workers = [
+            _WorkerHandle(self._ctx, config, i) for i in range(pool_size)
+        ]
+        self._breakers: Dict[str, CircuitBreaker] = {
+            name: CircuitBreaker(
+                failure_threshold=breaker_threshold,
+                cooldown_s=breaker_cooldown_s,
+                clock=clock,
+                name=name,
+            )
+            for name in self.backends
+        }
+
+    # -- lifecycle -------------------------------------------------------
+
+    def __enter__(self) -> "QueryEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Stop every worker (sentinel, then SIGKILL stragglers)."""
+        if self._closed:
+            return
+        self._closed = True
+        for handle in self._workers:
+            handle.shutdown()
+
+    def __del__(self):  # pragma: no cover - GC-order dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- observability ---------------------------------------------------
+
+    @property
+    def breakers(self) -> Dict[str, CircuitBreaker]:
+        """The per-backend circuit breakers (live objects)."""
+        return dict(self._breakers)
+
+    def breaker_snapshots(self) -> Dict[str, dict]:
+        """Picklable snapshot of every breaker's state and history."""
+        return {name: b.snapshot() for name, b in self._breakers.items()}
+
+    def worker_pids(self) -> List[Optional[int]]:
+        """Current pid of each pool slot (None = not spawned)."""
+        return [handle.pid for handle in self._workers]
+
+    def total_restarts(self) -> int:
+        """Worker respawns performed since the engine started."""
+        return sum(max(0, handle.restarts) for handle in self._workers)
+
+    # -- public API ------------------------------------------------------
+
+    def run(
+        self, spec: QuerySpec, *, fallback: bool = True
+    ) -> ServiceResult:
+        """Execute one query; raise its structured error on failure.
+
+        With ``fallback`` (default) the query ladders across the
+        engine's backends, preferred backend first; without it only
+        ``spec.backend`` is tried.
+        """
+        outcome = self.run_many([spec], fallback=fallback)[0]
+        if isinstance(outcome, ZenServiceError):
+            raise outcome
+        return outcome
+
+    def run_many(
+        self, specs: Sequence[QuerySpec], *, fallback: bool = True
+    ) -> List[Union[ServiceResult, ZenServiceError]]:
+        """Execute a portfolio of queries across the pool in parallel.
+
+        Returns one entry per spec, in order: a :class:`ServiceResult`
+        on success or the structured :class:`ZenServiceError` the
+        query ended with (not raised, so one poisoned query cannot
+        mask the rest of the portfolio).
+        """
+        self._check_open()
+        tasks = [
+            _Task(i, spec, self._ladder(spec, fallback))
+            for i, spec in enumerate(specs)
+        ]
+        self._execute(tasks)
+        out: List[Union[ServiceResult, ZenServiceError]] = []
+        for task in tasks:
+            out.append(task.result if task.result is not None else task.error)
+        return out
+
+    def run_differential(
+        self,
+        spec: Union[QuerySpec, Dict[str, QuerySpec]],
+        backends: Sequence[str] = ("sat", "bdd"),
+        *,
+        race: bool = False,
+    ) -> ServiceResult:
+        """Cross-check a find/verify query across two backends.
+
+        Both backends run the same query in parallel workers (each
+        answer concrete-replay-validated in its worker).  Semantics:
+
+        * both complete and agree on satisfiability → the
+          first-finished result, ``agreed=True``, ``answers`` holding
+          both sides;
+        * both complete and *contradict* (one found a validated
+          witness, the other proved none exists) → raise
+          :class:`ZenBackendDisagreement`;
+        * one side fails (crash/timeout/budget/breaker) → the
+          survivor's validated answer, ``agreed=None``;
+        * both fail → :class:`ZenQueryFailed` with the combined
+          attempt history.
+
+        With ``race=True`` the first *sound* answer wins immediately
+        and the other worker is cancelled (lower latency, no
+        cross-check unless the slower side already finished).  `spec`
+        may also be a dict mapping backend name to spec — the two
+        sides are then expected to be semantically equivalent queries
+        (useful for oracle testing and staged encodings).
+        """
+        self._check_open()
+        if isinstance(spec, dict):
+            sides = {b: s.with_backend(b) for b, s in spec.items()}
+        else:
+            sides = {b: spec.with_backend(b) for b in backends}
+        if len(sides) < 2:
+            raise ZenTypeError(
+                f"differential mode needs two backends, got {list(sides)}"
+            )
+        for name, side in sides.items():
+            if side.kind not in ("find", "verify"):
+                raise ZenTypeError(
+                    "differential mode compares find/verify answers, got "
+                    f"kind={side.kind!r} for backend {name!r}"
+                )
+        tasks = [
+            _Task(i, side, [name])
+            for i, (name, side) in enumerate(sides.items())
+        ]
+        group = {"race": race, "tasks": tasks}
+        for task in tasks:
+            task.group = group
+        self._execute(tasks)
+
+        combined: Tuple[AttemptRecord, ...] = tuple(
+            record for task in tasks for record in task.attempts
+        )
+        finished = [t for t in tasks if t.result is not None]
+        if len(finished) == len(tasks):
+            answers = {t.ladder[0]: t.result.answer for t in tasks}
+            verdicts = {b: a is not None for b, a in answers.items()}
+            if len(set(verdicts.values())) > 1:
+                raise ZenBackendDisagreement(
+                    "differential oracle: backends disagree on "
+                    f"satisfiability ({verdicts}); each side passed its "
+                    "own validation, so at least one encoding is unsound",
+                    answers=answers,
+                    attempts=combined,
+                )
+            winner = min(finished, key=lambda t: t.finished_at)
+            return replace(
+                winner.result,
+                attempts=combined,
+                agreed=True,
+                answers=answers,
+            )
+        if finished:
+            winner = min(finished, key=lambda t: t.finished_at)
+            answers = {t.ladder[0]: t.result.answer for t in finished}
+            return replace(
+                winner.result,
+                attempts=combined,
+                agreed=None,
+                answers=answers,
+            )
+        raise ZenQueryFailed(
+            "differential oracle: every backend failed",
+            attempts=combined,
+        )
+
+    # -- scheduler -------------------------------------------------------
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ZenServiceError("QueryEngine is closed")
+
+    def _ladder(self, spec: QuerySpec, fallback: bool) -> List[str]:
+        if not fallback:
+            return [spec.backend]
+        ladder = [spec.backend]
+        ladder.extend(b for b in self.backends if b != spec.backend)
+        return ladder
+
+    def _backoff_delay(self, attempt: int) -> float:
+        base = self.backoff_base_s * (self.backoff_factor ** (attempt - 1))
+        return min(self.backoff_max_s, base) + self._rng.uniform(
+            0.0, self.jitter_s
+        )
+
+    def _execute(self, tasks: List[_Task]) -> None:
+        pending: List[_Task] = list(tasks)
+        inflight: Dict[_WorkerHandle, _Task] = {}
+        try:
+            while not all(task.done for task in tasks):
+                now = self._clock()
+                self._fill_idle_workers(pending, inflight, now)
+                if all(task.done for task in tasks):
+                    break
+                if not inflight:
+                    waits = [t.ready_at for t in pending if not t.done]
+                    if not waits:  # pragma: no cover - defensive
+                        break
+                    self._sleep(max(min(waits) - now, 0.001))
+                    continue
+                self._wait_and_collect(pending, inflight)
+                self._enforce_deadlines(pending, inflight)
+                self._cancel_raced(pending, inflight)
+        finally:
+            # Never leave an orphaned in-flight query running (e.g. an
+            # exception such as ZenBackendDisagreement raised upward).
+            for handle in list(inflight):
+                handle.kill()
+
+    def _fill_idle_workers(self, pending, inflight, now) -> None:
+        for handle in self._workers:
+            if handle in inflight:
+                continue
+            # A launch can finish a task without occupying the worker
+            # (ladder exhausted, all rungs shed): keep feeding this
+            # handle until it is busy or nothing is ready.
+            while handle not in inflight:
+                task = self._next_ready(pending, now)
+                if task is None:
+                    return
+                pending.remove(task)
+                self._launch(task, handle, pending, inflight, now)
+
+    def _next_ready(self, pending, now) -> Optional[_Task]:
+        for task in list(pending):
+            if task.done:
+                pending.remove(task)
+                continue
+            if task.ready_at <= now:
+                return task
+        return None
+
+    def _launch(self, task, handle, pending, inflight, now) -> None:
+        """Submit `task` to `handle`, advancing past shed rungs.
+
+        Finishes the task in place when its ladder is exhausted.
+        """
+        while True:
+            if task.ladder_pos >= len(task.ladder):
+                self._finish_failure(task, now)
+                return
+            backend = task.backend
+            breaker = self._breakers.setdefault(
+                backend,
+                CircuitBreaker(clock=self._clock, name=backend),
+            )
+            if not breaker.allow():
+                task.attempts.append(
+                    AttemptRecord(
+                        backend=backend,
+                        attempt=task.attempt + 1,
+                        worker_pid=None,
+                        outcome="shed",
+                        error_type="ZenCircuitOpen",
+                        error=f"circuit open for backend {backend!r}",
+                        breaker_state=breaker.state,
+                    )
+                )
+                task.ladder_pos += 1
+                task.attempt = 0
+                continue
+            handle.ensure()
+            spec = task.spec.with_backend(backend)
+            self._seq += 1
+            task.seq = self._seq
+            task.submitted_at = now
+            if task.started_at is None:
+                task.started_at = now
+            timeout = (
+                spec.timeout_s
+                if spec.timeout_s is not None
+                else self.default_timeout_s
+            )
+            task.deadline = None if timeout is None else now + timeout
+            try:
+                handle.conn.send((task.seq, spec))
+            except (OSError, ValueError):
+                handle.kill()  # broken pipe: respawn and retry the send
+                continue
+            inflight[handle] = task
+            return
+
+    def _wait_and_collect(self, pending, inflight) -> None:
+        now = self._clock()
+        timeouts = [
+            task.deadline - now
+            for task in inflight.values()
+            if task.deadline is not None
+        ]
+        # Tasks already ready but queued behind busy workers must not
+        # turn the wait into a spin: only *future* wakeups count.
+        timeouts.extend(
+            task.ready_at - now
+            for task in pending
+            if not task.done and task.ready_at > now
+        )
+        timeout = max(0.0, min(timeouts)) if timeouts else None
+        ready = connection.wait(
+            [h.conn for h in inflight], timeout=timeout
+        )
+        now = self._clock()
+        by_conn = {h.conn: h for h in inflight}
+        for conn in ready:
+            handle = by_conn.get(conn)
+            if handle is None or handle not in inflight:
+                continue
+            task = inflight[handle]
+            try:
+                message = handle.conn.recv()
+            except (EOFError, OSError):
+                self._on_worker_death(task, handle, pending, inflight, now)
+                continue
+            try:
+                seq, status, info = message
+            except (TypeError, ValueError):
+                self._on_worker_death(task, handle, pending, inflight, now)
+                continue
+            if seq != task.seq:
+                continue  # stale reply from a pre-kill submission
+            self._on_reply(task, handle, status, info, pending, inflight, now)
+
+    def _enforce_deadlines(self, pending, inflight) -> None:
+        now = self._clock()
+        for handle, task in list(inflight.items()):
+            if task.deadline is None or now < task.deadline:
+                continue
+            del inflight[handle]
+            pid = handle.pid
+            handle.kill()
+            timeout = (
+                task.spec.timeout_s
+                if task.spec.timeout_s is not None
+                else self.default_timeout_s
+            )
+            self._record_failure(
+                task,
+                outcome="timeout",
+                error_type="ZenQueryTimeout",
+                message=(
+                    f"hard deadline of {timeout}s exceeded; worker pid "
+                    f"{pid} killed"
+                ),
+                pid=pid,
+                pending=pending,
+                now=now,
+                retryable=True,
+            )
+
+    def _cancel_raced(self, pending, inflight) -> None:
+        """In race mode, cancel siblings once one task has an answer."""
+        winners = [
+            task
+            for task in list(inflight.values()) + pending
+            if task.group is not None and task.group.get("race")
+        ]
+        if not winners:
+            return
+        now = self._clock()
+        groups = {id(t.group): t.group for t in winners}
+        for group in groups.values():
+            if not any(t.result is not None for t in group["tasks"]):
+                continue
+            for task in group["tasks"]:
+                if task.done:
+                    continue
+                for handle, running in list(inflight.items()):
+                    if running is task:
+                        del inflight[handle]
+                        handle.kill()
+                if task in pending:
+                    pending.remove(task)
+                task.attempts.append(
+                    AttemptRecord(
+                        backend=task.backend,
+                        attempt=task.attempt + 1,
+                        worker_pid=None,
+                        outcome="cancelled",
+                        error="cancelled: sibling answered first (race mode)",
+                    )
+                )
+                task.error = ZenQueryFailed(
+                    "cancelled: sibling answered first (race mode)",
+                    attempts=task.attempts,
+                    label=task.spec.label,
+                )
+                task.finish(now)
+
+    # -- outcome handling ------------------------------------------------
+
+    def _on_reply(self, task, handle, status, info, pending, inflight, now):
+        del inflight[handle]
+        backend = task.backend
+        breaker = self._breakers[backend]
+        elapsed = now - task.submitted_at
+        pid = handle.pid
+        if status == "ok":
+            breaker.record_success()
+            task.attempts.append(
+                AttemptRecord(
+                    backend=backend,
+                    attempt=task.attempt + 1,
+                    worker_pid=pid,
+                    outcome="ok",
+                    elapsed_s=elapsed,
+                    breaker_state=breaker.state,
+                )
+            )
+            task.result = ServiceResult(
+                answer=info.get("answer"),
+                backend=backend,
+                kind=task.spec.kind,
+                label=task.spec.label,
+                function=info.get("function", ""),
+                worker_pid=pid,
+                attempts=tuple(task.attempts),
+                stats=dict(info.get("stats", {})),
+                elapsed_s=now - (task.started_at or now),
+            )
+            task.finish(now)
+            return
+        if status == "oom":
+            # Even a survived MemoryError leaves allocator state
+            # suspect: recycle the worker before its next task.
+            handle.kill()
+            self._record_failure(
+                task,
+                outcome="oom",
+                error_type=info.get("type", "MemoryError"),
+                message=(
+                    f"worker pid {pid} hit its RSS cap "
+                    f"({info.get('rss_limit_bytes')} extra bytes): "
+                    f"{info.get('message', '')}"
+                ),
+                pid=pid,
+                pending=pending,
+                now=now,
+                retryable=True,
+            )
+            return
+        # status == "error": structured exception from the worker.
+        error_type = info.get("type", "")
+        message = info.get("message", "")
+        if error_type in _CONFIG_ERRORS:
+            task.attempts.append(
+                AttemptRecord(
+                    backend=backend,
+                    attempt=task.attempt + 1,
+                    worker_pid=pid,
+                    outcome="error",
+                    error_type=error_type,
+                    error=message,
+                    elapsed_s=elapsed,
+                    breaker_state=breaker.state,
+                )
+            )
+            task.error = ZenQueryFailed(
+                f"query is misconfigured ({error_type}: {message}); "
+                "not retried",
+                attempts=task.attempts,
+                label=task.spec.label,
+            )
+            task.finish(now)
+            return
+        outcome = (
+            "budget_exceeded"
+            if error_type == "ZenBudgetExceeded"
+            else "error"
+        )
+        self._record_failure(
+            task,
+            outcome=outcome,
+            error_type=error_type,
+            message=message,
+            pid=pid,
+            pending=pending,
+            now=now,
+            # Budget exhaustion and solver errors are deterministic for
+            # a given rung: move down the ladder instead of retrying.
+            retryable=False,
+            elapsed=elapsed,
+        )
+
+    def _on_worker_death(self, task, handle, pending, inflight, now):
+        del inflight[handle]
+        pid = handle.pid
+        exitcode = handle.kill()
+        if exitcode is not None and exitcode < 0:
+            detail = f"killed by signal {-exitcode}"
+        else:
+            detail = f"exited with status {exitcode}"
+        self._record_failure(
+            task,
+            outcome="crash",
+            error_type="ZenWorkerCrash",
+            message=f"worker pid {pid} died mid-query ({detail})",
+            pid=pid,
+            pending=pending,
+            now=now,
+            retryable=True,
+        )
+
+    def _record_failure(
+        self,
+        task,
+        *,
+        outcome,
+        error_type,
+        message,
+        pid,
+        pending,
+        now,
+        retryable,
+        elapsed=None,
+    ):
+        backend = task.backend
+        breaker = self._breakers[backend]
+        breaker.record_failure(outcome)
+        attempt_number = task.attempt + 1
+        backoff = 0.0
+        if retryable and outcome in _RETRYABLE and task.attempt < self.retries:
+            task.attempt += 1
+            backoff = self._backoff_delay(task.attempt)
+            task.ready_at = now + backoff
+        else:
+            task.ladder_pos += 1
+            task.attempt = 0
+            task.ready_at = now
+        task.attempts.append(
+            AttemptRecord(
+                backend=backend,
+                attempt=attempt_number,
+                worker_pid=pid,
+                outcome=outcome,
+                error_type=error_type,
+                error=message,
+                backoff_s=backoff,
+                elapsed_s=(
+                    elapsed if elapsed is not None else now - task.submitted_at
+                ),
+                breaker_state=breaker.state,
+            )
+        )
+        pending.append(task)  # _launch finish-fails it if the ladder is done
+
+    def _finish_failure(self, task, now) -> None:
+        executed = [a for a in task.attempts if a.outcome != "shed"]
+        if not executed and task.attempts:
+            task.error = ZenCircuitOpen(
+                "every backend's circuit breaker is open; query "
+                f"{task.spec.label or task.spec.kind!r} shed without "
+                "executing",
+                attempts=task.attempts,
+            )
+        else:
+            summary = ", ".join(
+                f"{a.backend}#{a.attempt}:{a.outcome}" for a in task.attempts
+            )
+            task.error = ZenQueryFailed(
+                f"query failed after {len(executed)} attempt(s) across "
+                f"{len(task.ladder)} backend rung(s) [{summary}]",
+                attempts=task.attempts,
+                label=task.spec.label,
+            )
+        task.finish(now)

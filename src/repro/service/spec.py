@@ -1,0 +1,220 @@
+"""Picklable query descriptions for the fault-isolated query engine.
+
+A :class:`QuerySpec` is everything a subprocess worker needs to run one
+verification query: *how to rebuild the model* (a picklable builder
+reference, since a built :class:`~repro.core.function.ZenFunction`
+cannot cross a process boundary), *which analysis to run* (``find`` /
+``verify`` / ``generate_inputs`` / ``transformer`` / ``evaluate`` /
+``call``), and the knobs PR 2 introduced (backend, list bound,
+cooperative :class:`~repro.core.budget.Budget`) plus the *hard* limits
+only a process boundary can enforce (kill-based wall clock, RSS cap).
+
+:func:`run_spec` executes a spec in the current process; the worker
+loop calls it, and callers can use it directly for an in-process dry
+run of a spec before shipping it to the pool.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Optional, Tuple
+
+from ..core.budget import Budget, start_meter
+from ..core.function import DEFAULT_MAX_LIST_LENGTH, ZenFunction
+from ..errors import ZenTypeError
+
+__all__ = ["QuerySpec", "resolve_ref", "run_spec"]
+
+#: Analyses a spec may request.  "call" runs an arbitrary picklable
+#: callable (used for baseline checks whose result is plain data).
+QUERY_KINDS = (
+    "find",
+    "verify",
+    "generate_inputs",
+    "transformer",
+    "evaluate",
+    "call",
+)
+
+_SERVICE_BACKENDS = ("sat", "bdd")
+
+
+def resolve_ref(ref: Any) -> Any:
+    """Resolve a ``"module:attribute"`` string to the named object.
+
+    Non-string references (already-resolved callables) pass through
+    untouched.  Dotted attribute paths after the colon are followed.
+    """
+    if not isinstance(ref, str):
+        return ref
+    module_name, _, attr_path = ref.partition(":")
+    if not module_name or not attr_path:
+        raise ZenTypeError(
+            f"expected a 'module:attribute' reference, got {ref!r}"
+        )
+    try:
+        target = importlib.import_module(module_name)
+    except ImportError as error:
+        raise ZenTypeError(
+            f"cannot import module {module_name!r} for {ref!r}: {error}"
+        ) from error
+    for part in attr_path.split("."):
+        try:
+            target = getattr(target, part)
+        except AttributeError as error:
+            raise ZenTypeError(f"cannot resolve {ref!r}: {error}") from error
+    return target
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """A picklable description of one verification query.
+
+    * ``builder`` — ``"module:attribute"`` reference (or picklable
+      top-level callable) resolving to a ZenFunction, an annotated
+      model function, or a builder callable invoked with
+      ``builder_args``/``builder_kwargs`` (see
+      :meth:`ZenFunction.from_ref`).  For ``kind="call"`` the resolved
+      object is called directly with ``args`` and its (picklable)
+      result is the answer.
+    * ``kind`` — one of ``find`` / ``verify`` / ``generate_inputs`` /
+      ``transformer`` / ``evaluate`` / ``call``.
+    * ``predicate`` — optional reference to the find/verify property,
+      resolved the same way as ``builder``.
+    * ``backend`` / ``max_list_length`` / ``budget`` / ``validate`` —
+      forwarded to the analysis exactly as in the in-process API.
+      Backends must be named (``"sat"``/``"bdd"``): instances are
+      process-local and cannot be shipped to a worker.
+    * ``timeout_s`` — *hard* wall-clock limit; the parent kills the
+      worker when it trips (``None`` = the engine's default).
+    * ``rss_limit_bytes`` — additional address space the query may
+      allocate beyond the worker's usage at task start; the worker
+      enforces it with ``RLIMIT_AS`` so a blowup raises MemoryError
+      inside the worker instead of taking down the machine.
+    * ``args`` — concrete inputs for ``evaluate`` / ``call``.
+    * ``label`` — free-form tag echoed through results and attempt
+      records.
+    """
+
+    builder: Any
+    kind: str = "find"
+    builder_args: Tuple[Any, ...] = ()
+    builder_kwargs: Dict[str, Any] = field(default_factory=dict)
+    predicate: Any = None
+    backend: str = "sat"
+    max_list_length: int = DEFAULT_MAX_LIST_LENGTH
+    budget: Optional[Budget] = None
+    validate: bool = True
+    max_inputs: int = 64
+    args: Tuple[Any, ...] = ()
+    timeout_s: Optional[float] = None
+    rss_limit_bytes: Optional[int] = None
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in QUERY_KINDS:
+            raise ZenTypeError(
+                f"QuerySpec.kind must be one of {QUERY_KINDS}, got "
+                f"{self.kind!r}"
+            )
+        if not isinstance(self.backend, str) or (
+            self.backend not in _SERVICE_BACKENDS
+        ):
+            raise ZenTypeError(
+                "QuerySpec.backend must be a backend *name* "
+                f"{_SERVICE_BACKENDS} (instances are process-local), got "
+                f"{self.backend!r}"
+            )
+        if self.budget is not None and not isinstance(self.budget, Budget):
+            raise ZenTypeError(
+                f"QuerySpec.budget must be a Budget or None, got "
+                f"{self.budget!r} (meters are per-process state)"
+            )
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ZenTypeError(
+                f"QuerySpec.timeout_s must be positive, got {self.timeout_s!r}"
+            )
+
+    def with_backend(self, backend: str) -> "QuerySpec":
+        """A copy of this spec targeting a different backend."""
+        if backend == self.backend:
+            return self
+        return replace(self, backend=backend)
+
+
+def _build_function(spec: QuerySpec) -> ZenFunction:
+    return ZenFunction.from_ref(
+        spec.builder, *spec.builder_args, **spec.builder_kwargs
+    )
+
+
+def run_spec(spec: QuerySpec) -> Dict[str, Any]:
+    """Execute a spec in the current process.
+
+    Returns a picklable payload: ``answer`` (the analysis result),
+    ``stats`` (the budget meter's final snapshot, ``{}`` when the spec
+    carries no budget), and ``function`` (the model's name).  Raises
+    whatever the underlying analysis raises — the worker loop converts
+    exceptions into structured replies.
+    """
+    if spec.kind == "call":
+        target = resolve_ref(spec.builder)
+        if not callable(target):
+            raise ZenTypeError(
+                f"kind='call' needs a callable builder, got {target!r}"
+            )
+        answer = target(*spec.builder_args, *spec.args, **spec.builder_kwargs)
+        return {"answer": answer, "stats": {}, "function": getattr(
+            target, "__name__", "<call>"
+        )}
+
+    fn = _build_function(spec)
+    meter = start_meter(spec.budget)
+    predicate = resolve_ref(spec.predicate) if spec.predicate else None
+
+    if spec.kind == "find":
+        answer = fn.find(
+            predicate,
+            backend=spec.backend,
+            max_list_length=spec.max_list_length,
+            budget=meter,
+            validate=spec.validate,
+        )
+    elif spec.kind == "verify":
+        if predicate is None:
+            raise ZenTypeError("kind='verify' needs a predicate (invariant)")
+        answer = fn.verify(
+            predicate,
+            backend=spec.backend,
+            max_list_length=spec.max_list_length,
+            budget=meter,
+            validate=spec.validate,
+        )
+    elif spec.kind == "generate_inputs":
+        answer = fn.generate_inputs(
+            max_inputs=spec.max_inputs,
+            max_list_length=spec.max_list_length,
+            budget=meter,
+        )
+    elif spec.kind == "transformer":
+        transformer = fn.transformer(budget=meter)
+        # Transformers hold BDD nodes of a process-local manager; the
+        # build itself is the crash/OOM-prone step worth isolating, so
+        # report a picklable summary rather than the object.
+        answer = {"built": True, "function": fn.name}
+        nodes = getattr(
+            getattr(transformer, "context", None), "manager", None
+        )
+        if nodes is not None and hasattr(nodes, "num_nodes"):
+            answer["manager_nodes"] = nodes.num_nodes
+    elif spec.kind == "evaluate":
+        answer = fn.evaluate(*spec.args)
+    else:  # pragma: no cover - guarded by __post_init__
+        raise ZenTypeError(f"unhandled kind {spec.kind!r}")
+
+    return {
+        "answer": answer,
+        "stats": meter.stats() if meter is not None else {},
+        "function": fn.name,
+    }

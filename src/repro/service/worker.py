@@ -1,0 +1,175 @@
+"""Subprocess worker: the isolated executor of one query at a time.
+
+The worker side is deliberately dumb: receive ``(seq, QuerySpec)``
+over a pipe, run it, send ``(seq, status, payload)`` back.  All policy
+(retries, backoff, breakers, hard-deadline kills) lives in the parent
+engine; all *enforcement that needs an address space of its own* lives
+here:
+
+* **RSS cap** — before a task with ``rss_limit_bytes``, the worker
+  lowers its ``RLIMIT_AS`` soft limit to (current VM size + cap), so a
+  BDD blowup or runaway allocation raises MemoryError inside the
+  worker instead of invoking the machine's OOM killer.  The limit is
+  restored afterwards; an OOM reply tells the parent to recycle the
+  worker anyway (allocator state after a MemoryError is suspect).
+* **Crash containment** — ``os._exit``, aborts in native code, and
+  signal kills only take down this process; the parent observes EOF on
+  the pipe and the exit status.
+
+Replies are always plain picklable data.  Exceptions are flattened to
+``{"type", "message", "reason", "stats"}`` dictionaries — shipping
+exception *objects* across the boundary would reintroduce arbitrary
+unpickling of solver state into the parent.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import sys
+import traceback
+from typing import Any, Dict, Optional, Tuple
+
+from .spec import QuerySpec, run_spec
+
+__all__ = ["worker_main", "execute_task", "describe_exception"]
+
+try:
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX platform
+    resource = None  # type: ignore[assignment]
+
+_PAGE_SIZE = 4096
+
+
+def _current_vm_bytes() -> Optional[int]:
+    """Current virtual memory size of this process, if knowable.
+
+    Reads ``/proc/self/statm`` (Linux).  ``RLIMIT_AS`` caps *address
+    space*, which a Python process consumes hundreds of MB of before
+    any query runs, so per-query caps are expressed as headroom above
+    the current usage rather than as absolute values.
+    """
+    try:
+        with open("/proc/self/statm", "rb") as handle:
+            return int(handle.read().split()[0]) * _PAGE_SIZE
+    except (OSError, ValueError, IndexError):
+        return None
+
+
+def _install_rss_limit(extra_bytes: int) -> Optional[Tuple[int, int]]:
+    """Cap address space at (current usage + extra_bytes).
+
+    Returns the previous ``RLIMIT_AS`` for restoration, or None when
+    the platform cannot enforce the cap (the query then runs
+    unlimited; the parent's hard timeout still bounds it).
+    """
+    if resource is None:
+        return None
+    current = _current_vm_bytes()
+    if current is None:
+        return None
+    previous = resource.getrlimit(resource.RLIMIT_AS)
+    soft = current + extra_bytes
+    hard = previous[1]
+    if hard != resource.RLIM_INFINITY:
+        soft = min(soft, hard)
+    try:
+        resource.setrlimit(resource.RLIMIT_AS, (soft, hard))
+    except (ValueError, OSError):
+        return None
+    return previous
+
+
+def _restore_rss_limit(previous: Optional[Tuple[int, int]]) -> None:
+    if previous is None or resource is None:
+        return
+    try:
+        resource.setrlimit(resource.RLIMIT_AS, previous)
+    except (ValueError, OSError):  # pragma: no cover - kernel refusal
+        pass
+
+
+def describe_exception(error: BaseException) -> Dict[str, Any]:
+    """Flatten an exception into the picklable reply dictionary."""
+    return {
+        "type": type(error).__name__,
+        "message": str(error),
+        "reason": getattr(error, "reason", ""),
+        "stats": dict(getattr(error, "stats", {}) or {}),
+        "traceback": "".join(
+            traceback.format_exception(type(error), error, error.__traceback__)
+        )[-4000:],
+    }
+
+
+def execute_task(spec: QuerySpec) -> Tuple[str, Dict[str, Any]]:
+    """Run one spec, translating every outcome to a (status, info) pair.
+
+    Statuses: ``"ok"`` (info = run_spec payload), ``"oom"`` (the RSS
+    cap tripped), ``"error"`` (info = flattened exception).
+    """
+    previous = None
+    try:
+        if spec.rss_limit_bytes is not None:
+            previous = _install_rss_limit(spec.rss_limit_bytes)
+        return "ok", run_spec(spec)
+    except MemoryError as error:
+        # Free headroom before building the reply: drop the limit
+        # first, then collect whatever the unwound query left behind.
+        _restore_rss_limit(previous)
+        previous = None
+        gc.collect()
+        info = describe_exception(error)
+        info["rss_limit_bytes"] = spec.rss_limit_bytes
+        return "oom", info
+    except BaseException as error:  # noqa: BLE001 - boundary translation
+        return "error", describe_exception(error)
+    finally:
+        _restore_rss_limit(previous)
+
+
+def worker_main(conn, config: Optional[Dict[str, Any]] = None) -> None:
+    """Entry point of a pool worker process.
+
+    Loops on the pipe until EOF or a ``None`` shutdown sentinel.  With
+    the ``spawn`` start method the parent passes its ``sys.path`` in
+    ``config`` so ``module:attribute`` builder references resolve in
+    the fresh interpreter.
+    """
+    config = config or {}
+    for entry in reversed(config.get("sys_path", [])):
+        if entry not in sys.path:
+            sys.path.insert(0, entry)
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            return
+        if message is None:
+            return
+        seq, spec = message
+        status, info = execute_task(spec)
+        reply = (seq, status, info)
+        try:
+            conn.send(reply)
+        except Exception:
+            # Unpicklable answer: degrade to a structured error so the
+            # parent is never left waiting on a half-sent reply.
+            try:
+                conn.send(
+                    (
+                        seq,
+                        "error",
+                        {
+                            "type": "ZenServiceError",
+                            "message": "worker could not pickle the query "
+                            f"answer (pid {os.getpid()})",
+                            "reason": "unpicklable-answer",
+                            "stats": {},
+                            "traceback": "",
+                        },
+                    )
+                )
+            except Exception:
+                return
