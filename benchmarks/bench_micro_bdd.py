@@ -410,6 +410,87 @@ def bench_transformer_image(lines: int, repeats: int) -> dict:
     }
 
 
+def bench_telemetry_overhead(
+    num_vars: int, pairs: int, repeats: int, baseline_ms=None
+) -> dict:
+    """Tracing overhead on the kernel hot path (disabled and enabled).
+
+    The disabled number is the one that matters: instrumentation in
+    ``_begin``/``_end`` must cost no more than an attribute read and a
+    branch when no tracer is active (the < 5% acceptance bar, checked
+    against both the enabled run and — via ``vs_baseline_ms`` from the
+    previous ``BENCH_micro_bdd.json`` — the pre-telemetry kernel
+    timing).  The enabled number documents the price of a full span
+    per outermost op.
+    """
+    from repro.telemetry import TRACER, disable_tracing, enable_tracing
+
+    manager = Bdd()
+    manager.new_vars(num_vars)
+    rng = random.Random(SEED)
+    operands = [
+        (random_formula(manager, rng, 4), random_formula(manager, rng, 4))
+        for _ in range(pairs)
+    ]
+
+    def pass_() -> None:
+        manager.clear_cache()
+        for f, g in operands:
+            manager.and_(f, g)
+
+    pass_()  # warm the unique table
+    disable_tracing()
+    disabled_ms = best_of(pass_, repeats) * 1000
+
+    def traced_pass() -> None:
+        TRACER.reset()  # don't let span trees accumulate across passes
+        pass_()
+
+    enable_tracing()
+    try:
+        enabled_ms = best_of(traced_pass, repeats) * 1000
+    finally:
+        disable_tracing()
+        TRACER.reset()
+
+    row = {
+        "name": "telemetry_overhead",
+        "vars": num_vars,
+        "pairs": pairs,
+        "disabled_ms": disabled_ms,
+        "enabled_ms": enabled_ms,
+        "enabled_overhead_pct": round(
+            (enabled_ms / disabled_ms - 1.0) * 100, 2
+        )
+        if disabled_ms
+        else 0.0,
+    }
+    if baseline_ms:
+        row["vs_baseline_ms"] = baseline_ms
+        row["vs_baseline_pct"] = round(
+            (disabled_ms / baseline_ms - 1.0) * 100, 2
+        )
+    return row
+
+
+def load_baseline_apply_ms(path: Path, num_vars: int, pairs: int):
+    """The prior run's apply_and timing, if it used the same sizes."""
+    if not path.is_file():
+        return None
+    try:
+        prior = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+    for row in prior.get("results", ()):
+        if (
+            row.get("name") == "apply_and"
+            and row.get("vars") == num_vars
+            and row.get("pairs") == pairs
+        ):
+            return row.get("apply_ms")
+    return None
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -437,12 +518,21 @@ def main() -> None:
     else:
         sizes = dict(vars=40, pairs=150, many=192, width=12, acl=60)
 
+    # Read the previous artifact's apply_and timing before overwriting
+    # it: the telemetry row reports disabled-mode drift against it.
+    baseline_ms = load_baseline_apply_ms(
+        args.out, sizes["vars"], sizes["pairs"]
+    )
+
     results = [
         bench_apply_vs_ite(sizes["vars"], sizes["pairs"], args.repeats),
         bench_commutative_cache(sizes["vars"], sizes["pairs"], args.repeats),
         bench_and_many(sizes["many"], args.repeats),
         bench_relational_product(sizes["width"], args.repeats),
         bench_transformer_image(sizes["acl"], args.repeats),
+        bench_telemetry_overhead(
+            sizes["vars"], sizes["pairs"], args.repeats, baseline_ms
+        ),
     ]
 
     report = {
@@ -463,10 +553,25 @@ def main() -> None:
         "transformer_image": ("fused_ms", "unfused_ms"),
     }
     for row in results:
+        if row["name"] == "telemetry_overhead":
+            continue
         new_key, old_key = pairs[row["name"]]
         new, old = row[new_key], row[old_key]
         speedup = old / new if new else float("inf")
         print(f"{row['name']:>20} {new:>10.2f} {old:>10.2f} {speedup:>7.2f}x")
+
+    overhead = results[-1]
+    line = (
+        f"\ntelemetry: disabled {overhead['disabled_ms']:.2f}ms, "
+        f"enabled {overhead['enabled_ms']:.2f}ms "
+        f"({overhead['enabled_overhead_pct']:+.1f}%)"
+    )
+    if "vs_baseline_pct" in overhead:
+        line += (
+            f"; disabled vs previous run "
+            f"{overhead['vs_baseline_pct']:+.1f}%"
+        )
+    print(line)
     print(f"\nwrote {args.out}")
 
 

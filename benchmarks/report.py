@@ -5,14 +5,24 @@ script complements it by printing the *series* form of Figure 10 —
 one row per workload size with all systems side by side — so the
 crossover structure is visible at a glance.
 
-Usage:  python benchmarks/report.py [--full]
+It is also the aggregation point for the persisted benchmark
+artifacts: every ``BENCH_*.json`` in the repo root shares one schema
+(``{"bench": str, "quick": bool, "python": str, "results": [dict]}``)
+so successive PRs can diff them mechanically.  ``--check-bench``
+validates all of them (CI runs this after each benchmark step), and
+the report folds ``BENCH_service.json`` into a summary table
+alongside the live sweeps.
+
+Usage:  python benchmarks/report.py [--full | --check-bench]
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
+from pathlib import Path
 
 from repro import ZenFunction
 from repro.backends import BddBackend, SatBackend
@@ -22,6 +32,92 @@ from repro.network import Header, Route, acl_match_line, apply_route_map
 from repro.workloads import random_acl, random_route_map
 
 SEED = 2020
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: The shared top-level schema every persisted benchmark artifact
+#: (``BENCH_*.json``) must follow.
+BENCH_SCHEMA = {"bench": str, "quick": bool, "python": str, "results": list}
+
+
+def check_bench_file(path: Path) -> list:
+    """Validate one BENCH_*.json against the shared schema.
+
+    Returns a list of human-readable problems (empty = valid).
+    """
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, ValueError) as error:
+        return [f"unreadable JSON: {error}"]
+    if not isinstance(data, dict):
+        return ["top level must be an object"]
+    problems = []
+    for key, expected in BENCH_SCHEMA.items():
+        if key not in data:
+            problems.append(f"missing key {key!r}")
+        elif not isinstance(data[key], expected):
+            problems.append(
+                f"key {key!r} must be {expected.__name__}, got "
+                f"{type(data[key]).__name__}"
+            )
+    results = data.get("results")
+    if isinstance(results, list):
+        if not results:
+            problems.append("results must be non-empty")
+        for i, row in enumerate(results):
+            if not isinstance(row, dict):
+                problems.append(f"results[{i}] must be an object")
+    return problems
+
+
+def check_bench_files(root: Path = REPO_ROOT) -> int:
+    """Validate every BENCH_*.json under ``root``; returns #invalid."""
+    paths = sorted(root.glob("BENCH_*.json"))
+    if not paths:
+        print(f"no BENCH_*.json files under {root}")
+        return 0
+    bad = 0
+    for path in paths:
+        problems = check_bench_file(path)
+        if problems:
+            bad += 1
+            print(f"{path.name}: INVALID")
+            for problem in problems:
+                print(f"  - {problem}")
+        else:
+            print(f"{path.name}: ok")
+    return bad
+
+
+def service_summary(root: Path = REPO_ROOT) -> None:
+    """Fold BENCH_service.json (if present) into the printed report."""
+    path = root / "BENCH_service.json"
+    if not path.is_file():
+        return
+    problems = check_bench_file(path)
+    if problems:
+        print(f"\n{path.name} present but invalid: {'; '.join(problems)}")
+        return
+    data = json.loads(path.read_text())
+    mode = "quick" if data.get("quick") else "full"
+    print(f"\nQuery service ({path.name}, {mode} run):")
+    print(
+        f"{'pool':>6} {'p50_ms':>9} {'p95_ms':>9} {'qps':>9} "
+        f"{'fault_survivors':>16} {'restarts':>9}"
+    )
+    for row in data["results"]:
+        fault = row.get("fault_round", {})
+        survivors = (
+            f"{fault.get('survivors', '?')}/{fault.get('queries', '?')}"
+        )
+        print(
+            f"{row.get('pool_size', '?'):>6} "
+            f"{row.get('p50_ms', 0.0):>9.2f} "
+            f"{row.get('p95_ms', 0.0):>9.2f} "
+            f"{row.get('throughput_qps', 0.0):>9.0f} "
+            f"{survivors:>16} "
+            f"{fault.get('worker_restarts', 0):>9}"
+        )
 
 
 def print_backend_stats(bdd_backend: BddBackend, sat_backend: SatBackend) -> None:
@@ -116,7 +212,15 @@ def main() -> None:
         "--full", action="store_true", help="run the larger sweeps"
     )
     parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--check-bench",
+        action="store_true",
+        help="validate all BENCH_*.json artifacts against the shared "
+        "schema and exit (non-zero on any invalid file)",
+    )
     args = parser.parse_args()
+    if args.check_bench:
+        sys.exit(1 if check_bench_files() else 0)
     if args.full:
         acl_sizes = [125, 250, 500, 1000, 2000]
         rm_sizes = [20, 40, 60, 80, 100]
@@ -125,6 +229,7 @@ def main() -> None:
         rm_sizes = [20, 60, 100]
     acl_series(acl_sizes, args.repeats)
     routemap_series(rm_sizes, args.repeats)
+    service_summary()
 
 
 if __name__ == "__main__":

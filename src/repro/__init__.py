@@ -70,6 +70,19 @@ from .service import (
     QuerySpec,
     ServiceResult,
 )
+from .telemetry import (
+    METRICS,
+    TRACER,
+    MetricsRegistry,
+    QueryProfile,
+    Span,
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    span,
+    tracing_enabled,
+    write_chrome_trace,
+)
 from .lang import (
     BOOL,
     BYTE,
@@ -136,6 +149,18 @@ __all__ = [
     "ServiceResult",
     "AttemptRecord",
     "CircuitBreaker",
+    # telemetry
+    "TRACER",
+    "METRICS",
+    "Tracer",
+    "Span",
+    "span",
+    "enable_tracing",
+    "disable_tracing",
+    "tracing_enabled",
+    "write_chrome_trace",
+    "MetricsRegistry",
+    "QueryProfile",
     # language
     "Zen",
     "if_",

@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from ..bdd import FALSE, TRUE, Bdd
+from ..telemetry.spans import span
 from .interface import Bit
 
 
@@ -99,7 +100,8 @@ class BddBackend:
 
     def solve(self, constraint: Bit) -> Optional[BddModel]:
         """Walk a satisfying path through the constraint BDD."""
-        assignment = self._manager.any_sat(constraint)
+        with span("bdd.any_sat"):
+            assignment = self._manager.any_sat(constraint)
         if assignment is None:
             return None
         meter = self._manager.budget

@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import List, Optional
 
 from ..aig import FALSE_LIT, TRUE_LIT, Aig, CnfMapping, encode
+from ..telemetry.spans import TRACER, span
 from .interface import Bit
 
 
@@ -88,6 +89,14 @@ class SatBackend:
         for key in self._stats:
             self._stats[key] = 0
 
+    def snapshot(self) -> dict:
+        """Flat numeric counter snapshot (shared counter protocol)."""
+        return dict(self._stats)
+
+    def reset_counters(self) -> None:
+        """Canonical reset spelling (alias of :meth:`reset_statistics`)."""
+        self.reset_statistics()
+
     def _accumulate(self, solver) -> None:
         stats = solver.statistics
         self._stats["solves"] += 1
@@ -131,7 +140,13 @@ class SatBackend:
         """Bitblast the constraint and search for a model."""
         if constraint == FALSE_LIT:
             return None
-        mapping, _ = encode(self._aig, [constraint])
+        if TRACER.enabled:
+            with span("sat.bitblast") as sp:
+                mapping, _ = encode(self._aig, [constraint])
+                sp.set("clauses", mapping.solver.num_clauses)
+                sp.set("vars", mapping.solver.num_vars)
+        else:
+            mapping, _ = encode(self._aig, [constraint])
         try:
             satisfiable = mapping.solver.solve(budget=self._budget)
         finally:
@@ -158,7 +173,8 @@ class SatBackend:
         if constraint == FALSE_LIT:
             self.last_enumeration_truncated = False
             return
-        mapping, _ = encode(self._aig, [constraint])
+        with span("sat.bitblast"):
+            mapping, _ = encode(self._aig, [constraint])
         solver = mapping.solver
         produced = 0
         try:

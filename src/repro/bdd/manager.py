@@ -56,6 +56,7 @@ from time import perf_counter
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..errors import ZenSolverError
+from ..telemetry.spans import TRACER
 
 FALSE = 0
 TRUE = 1
@@ -122,6 +123,31 @@ class BddStats:
             "node_count": self.node_count,
         }
 
+    def snapshot(self) -> dict:
+        """Flat numeric snapshot (the shared counter protocol).
+
+        Keys are ``calls.<op>`` / ``cache_hits.<op>`` /
+        ``cache_misses.<op>`` / ``op_time_s.<op>`` plus ``peak_nodes``
+        and ``node_count``; every value is a plain number, so
+        :func:`repro.telemetry.delta` can diff two snapshots.
+        """
+        out: dict = {}
+        for op, count in self.calls.items():
+            out[f"calls.{op}"] = count
+        for op, hits in self.cache_hits.items():
+            out[f"cache_hits.{op}"] = hits
+        for op, misses in self.cache_misses.items():
+            out[f"cache_misses.{op}"] = misses
+        for op, secs in self.op_time.items():
+            out[f"op_time_s.{op}"] = secs
+        out["peak_nodes"] = self.peak_nodes
+        out["node_count"] = self.node_count
+        return out
+
+    def reset_counters(self) -> None:
+        """Canonical reset spelling (alias of :meth:`reset`)."""
+        self.reset()
+
     def summary(self) -> str:
         """A human-readable table of the counters."""
         lines = [
@@ -182,6 +208,11 @@ class Bdd:
         self._stats = BddStats()
         self._timing = False
         self._timing_depth = 0
+        # Trace-span bookkeeping: only the *outermost* public op opens
+        # a span (a transformer image calls rename/and_exists/permute
+        # internally; per-inner-op spans would explode the trace).
+        self._span_depth = 0
+        self._op_span = None
         # Cooperative resource governance (duck-typed BudgetMeter; the
         # manager never imports repro.core.budget).  Kernels tick every
         # 1024 work-stack iterations, bounding both node-cap overshoot
@@ -237,6 +268,14 @@ class Bdd:
         """Zero all statistics counters."""
         self._stats.reset()
 
+    def snapshot(self) -> dict:
+        """Flat numeric counter snapshot (shared counter protocol)."""
+        return self.stats().snapshot()
+
+    def reset_counters(self) -> None:
+        """Canonical reset spelling (alias of :meth:`reset_stats`)."""
+        self.reset_stats()
+
     def enable_timing(self, enabled: bool = True) -> None:
         """Toggle wall-time accounting for public ops.
 
@@ -249,6 +288,10 @@ class Bdd:
     def _begin(self, op: str) -> float:
         calls = self._stats.calls
         calls[op] = calls.get(op, 0) + 1
+        if TRACER.enabled:
+            self._span_depth += 1
+            if self._span_depth == 1:
+                self._op_span = TRACER.begin("bdd." + op)
         if self._timing:
             self._timing_depth += 1
             if self._timing_depth == 1:
@@ -264,6 +307,14 @@ class Bdd:
         nodes = len(self._level)
         if nodes > self._stats.peak_nodes:
             self._stats.peak_nodes = nodes
+        # Span depth is tracked independently of TRACER.enabled so a
+        # mid-op toggle cannot unbalance the stack.
+        if self._span_depth > 0:
+            self._span_depth -= 1
+            if self._span_depth == 0 and self._op_span is not None:
+                done, self._op_span = self._op_span, None
+                done.attrs["nodes"] = nodes
+                TRACER.finish(done)
 
     def _count_cache(self, op: str, hits: int, misses: int) -> None:
         st = self._stats

@@ -37,6 +37,8 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional, Sequence, Tuple
 
 from ..errors import ZenBudgetExceeded, ZenTypeError
+from ..telemetry.profile import QueryProfile
+from ..telemetry.spans import TRACER
 
 __all__ = [
     "Budget",
@@ -149,6 +151,17 @@ class BudgetMeter:
             budget=self.budget,
             stats=self.stats(),
         )
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Flat numeric counter snapshot (shared counter protocol)."""
+        return self.stats()
+
+    def reset_counters(self) -> None:
+        """Zero the consumption counters (the clock keeps running)."""
+        self.conflicts = 0
+        self.models = 0
+        self.bdd_nodes = 0
+        self._decision_ticks = 0
 
     def check_deadline(self) -> None:
         """Raise if the wall-clock deadline has passed."""
@@ -282,7 +295,9 @@ class QueryResult:
       abandoned before the answer (empty when the preferred
       configuration answered directly);
     * ``failures``     — the same abandoned rungs as structured
-      :class:`RungFailure` records (exception type, message, reason).
+      :class:`RungFailure` records (exception type, message, reason);
+    * ``profile``      — a :class:`~repro.telemetry.QueryProfile` of
+      the answering rung when tracing was enabled, else ``None``.
     """
 
     answer: Any
@@ -291,6 +306,7 @@ class QueryResult:
     stats: Dict[str, Any] = field(default_factory=dict)
     degradations: Tuple[str, ...] = ()
     failures: Tuple[RungFailure, ...] = ()
+    profile: Optional[QueryProfile] = None
 
     @property
     def degraded(self) -> bool:
@@ -350,6 +366,12 @@ def solve_with_fallback(
     last_error: Optional[ZenBudgetExceeded] = None
     for backend, depth in rungs:
         meter = start_meter(budget)
+        rung_span = None
+        if TRACER.enabled:
+            rung_span = TRACER.begin(
+                "fallback.rung",
+                {"backend": _backend_name(backend), "max_list_length": depth},
+            )
         try:
             answer = function.find(
                 predicate,
@@ -360,6 +382,9 @@ def solve_with_fallback(
             )
         except ZenBudgetExceeded as error:
             name = _backend_name(backend)
+            if rung_span is not None:
+                rung_span.attrs["outcome"] = f"budget_exceeded:{error.reason}"
+                TRACER.finish(rung_span)
             degradations.append(
                 f"{name}@list<={depth}: budget exceeded "
                 f"({error.reason}): {type(error).__name__}: {error}"
@@ -375,6 +400,18 @@ def solve_with_fallback(
             )
             last_error = error
             continue
+        profile = None
+        if rung_span is not None:
+            rung_span.attrs["outcome"] = "answered"
+            TRACER.finish(rung_span)
+            from ..telemetry.profile import profile_from_spans
+
+            profile = profile_from_spans(
+                [rung_span],
+                query="query.fallback",
+                backend=_backend_name(backend),
+                counters=meter.stats() if meter is not None else None,
+            )
         return QueryResult(
             answer=answer,
             backend=_backend_name(backend),
@@ -382,6 +419,7 @@ def solve_with_fallback(
             stats=meter.stats() if meter is not None else {},
             degradations=tuple(degradations),
             failures=tuple(failures),
+            profile=profile,
         )
     assert last_error is not None
     last_error.degradations = tuple(degradations)

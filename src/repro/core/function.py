@@ -31,6 +31,7 @@ from ..backends import values as sv
 from ..errors import ZenArityError, ZenTypeError, ZenUnsoundResultError
 from ..lang import Zen, constant, types as ty
 from ..lang import expr as ex
+from ..telemetry.spans import span
 from .budget import start_meter
 
 DEFAULT_MAX_LIST_LENGTH = 4
@@ -235,47 +236,58 @@ class ZenFunction:
         meter = start_meter(budget)
         if meter is not None:
             engine.set_budget(meter)
-        try:
-            evaluator = SymbolicEvaluator(
-                engine, max_list_length=max_list_length
-            )
-            sym_args = [
-                evaluator.fresh_input(f"arg{i}", t)
-                for i, t in enumerate(self._arg_types)
-            ]
-            result_value = evaluator.evaluate(self._body.expr)
-            if predicate is None:
-                if not isinstance(self.return_type, ty.BoolType):
-                    raise ZenTypeError(
-                        "find without a predicate needs a boolean-valued "
-                        "function"
-                    )
-                constraint_value = result_value
-            else:
-                lifted_args = [
-                    Zen(ex.Lifted(sym, t, evaluator))
-                    for sym, t in zip(sym_args, self._arg_types)
-                ]
-                lifted_result = Zen(
-                    ex.Lifted(result_value, self.return_type, evaluator)
+        with span(
+            "query.find",
+            function=self.name,
+            backend=getattr(engine, "name", str(backend)),
+            max_list_length=max_list_length,
+        ):
+            try:
+                evaluator = SymbolicEvaluator(
+                    engine, max_list_length=max_list_length
                 )
-                prop = predicate(*lifted_args, lifted_result)
-                if not isinstance(prop, Zen) or not isinstance(
-                    prop.type, ty.BoolType
-                ):
-                    raise ZenTypeError("find predicate must return Zen<bool>")
-                constraint_value = evaluator.evaluate(prop.expr)
-            assert isinstance(constraint_value, sv.SymBool)
-            model = engine.solve(constraint_value.bit)
-        finally:
-            if meter is not None:
-                engine.set_budget(None)
-        if model is None:
-            return None
-        decoded = tuple(decode(model, arg) for arg in sym_args)
-        if validate:
-            self._validate_model(decoded, predicate, backend)
-        return decoded[0] if len(decoded) == 1 else decoded
+                with span("compile.flatten"):
+                    sym_args = [
+                        evaluator.fresh_input(f"arg{i}", t)
+                        for i, t in enumerate(self._arg_types)
+                    ]
+                    result_value = evaluator.evaluate(self._body.expr)
+                    if predicate is None:
+                        if not isinstance(self.return_type, ty.BoolType):
+                            raise ZenTypeError(
+                                "find without a predicate needs a "
+                                "boolean-valued function"
+                            )
+                        constraint_value = result_value
+                    else:
+                        lifted_args = [
+                            Zen(ex.Lifted(sym, t, evaluator))
+                            for sym, t in zip(sym_args, self._arg_types)
+                        ]
+                        lifted_result = Zen(
+                            ex.Lifted(result_value, self.return_type, evaluator)
+                        )
+                        prop = predicate(*lifted_args, lifted_result)
+                        if not isinstance(prop, Zen) or not isinstance(
+                            prop.type, ty.BoolType
+                        ):
+                            raise ZenTypeError(
+                                "find predicate must return Zen<bool>"
+                            )
+                        constraint_value = evaluator.evaluate(prop.expr)
+                assert isinstance(constraint_value, sv.SymBool)
+                with span("solve"):
+                    model = engine.solve(constraint_value.bit)
+            finally:
+                if meter is not None:
+                    engine.set_budget(None)
+            if model is None:
+                return None
+            decoded = tuple(decode(model, arg) for arg in sym_args)
+            if validate:
+                with span("validate.replay"):
+                    self._validate_model(decoded, predicate, backend)
+            return decoded[0] if len(decoded) == 1 else decoded
 
     def _validate_model(
         self,

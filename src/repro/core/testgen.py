@@ -16,6 +16,7 @@ from typing import Any, List, Optional, Tuple
 from ..backends import SatBackend, SymbolicEvaluator, decode
 from ..backends import values as sv
 from ..backends.interface import bit_value
+from ..telemetry.spans import span
 from .budget import start_meter
 
 
@@ -93,34 +94,37 @@ def generate_inputs(
     meter = start_meter(budget)
     if meter is not None:
         backend.set_budget(meter)
-    evaluator = _TracingEvaluator(backend, max_list_length=max_list_length)
-    sym_args = [
-        evaluator.fresh_input(f"arg{i}", t)
-        for i, t in enumerate(function.arg_types)
-    ]
-    evaluator.evaluate(function.body.expr)
+    with span("query.generate_inputs", function=function.name) as sp:
+        evaluator = _TracingEvaluator(backend, max_list_length=max_list_length)
+        with span("compile.flatten"):
+            sym_args = [
+                evaluator.fresh_input(f"arg{i}", t)
+                for i, t in enumerate(function.arg_types)
+            ]
+            evaluator.evaluate(function.body.expr)
 
-    goals: List[Any] = [backend.true()]
-    for decision in evaluator.decisions:
-        goals.append(decision)
-        goals.append(backend.not_(decision))
+        goals: List[Any] = [backend.true()]
+        for decision in evaluator.decisions:
+            goals.append(decision)
+            goals.append(backend.not_(decision))
 
-    results: List[Tuple[Any, ...]] = []
-    seen = set()
-    explored = 0
-    for goal in goals:
-        if len(results) >= max_inputs:
-            break
-        explored += 1
-        model = backend.solve(goal)
-        if model is None:
-            continue
-        decoded = tuple(decode(model, arg) for arg in sym_args)
-        key = repr(decoded)
-        if key in seen:
-            continue
-        seen.add(key)
-        results.append(decoded[0] if len(decoded) == 1 else decoded)
+        results: List[Tuple[Any, ...]] = []
+        seen = set()
+        explored = 0
+        for goal in goals:
+            if len(results) >= max_inputs:
+                break
+            explored += 1
+            model = backend.solve(goal)
+            if model is None:
+                continue
+            decoded = tuple(decode(model, arg) for arg in sym_args)
+            key = repr(decoded)
+            if key in seen:
+                continue
+            seen.add(key)
+            results.append(decoded[0] if len(decoded) == 1 else decoded)
+        sp.set("goals", len(goals)).set("inputs", len(results))
     return InputSuite(
         results,
         truncated=explored < len(goals),

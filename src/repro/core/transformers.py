@@ -45,6 +45,7 @@ from ..bdd import Bdd
 from ..errors import ZenArityError, ZenTypeError
 from ..lang import types as ty
 from ..lang import Zen
+from ..telemetry.spans import span
 from .budget import metered
 
 DEFAULT_MAX_LIST_LENGTH = 4
@@ -394,7 +395,9 @@ class TransformerContext:
             raise ZenTypeError("set predicates must return bool")
         zen_type = function.arg_types[0]
         space = self.space(zen_type)
-        with metered(self.manager, budget):
+        with span("stateset.from_predicate", function=function.name), metered(
+            self.manager, budget
+        ):
             evaluator = SymbolicEvaluator(
                 self.backend, max_list_length=self.max_list_length
             )
@@ -576,7 +579,9 @@ class StateSetTransformer:
         manager.new_vars(len(in_slots) + len(out_slots))
         in_levels = [base + s for s in in_slots]
         out_levels = [base + s for s in out_slots]
-        with metered(manager, budget):
+        with span("transformer.build", function=function.name), metered(
+            manager, budget
+        ):
             in_value = sv.fresh(
                 _SequenceBackend(context.backend, in_levels),
                 input_type,
@@ -611,7 +616,7 @@ class StateSetTransformer:
         manager = self.context.manager
         in_space = self.context.space(self.input_type)
         out_space = self.context.space(self.output_type)
-        with metered(manager, budget):
+        with span("transformer.forward"), metered(manager, budget):
             # Canonical -> private input variables (runtime substitution).
             shifted = manager.rename(
                 input_set.node, dict(zip(in_space.levels, self.in_levels))
@@ -637,7 +642,7 @@ class StateSetTransformer:
         manager = self.context.manager
         in_space = self.context.space(self.input_type)
         out_space = self.context.space(self.output_type)
-        with metered(manager, budget):
+        with span("transformer.reverse"), metered(manager, budget):
             shifted = manager.permute(
                 output_set.node, dict(zip(out_space.levels, self.out_levels))
             )
@@ -689,7 +694,7 @@ class StateSetTransformer:
         base = manager.num_vars
         manager.new_vars(len(self.out_levels))
         aux_levels = list(range(base, base + len(self.out_levels)))
-        with metered(manager, budget):
+        with span("transformer.compose"), metered(manager, budget):
             left = manager.permute(
                 self.relation, dict(zip(self.out_levels, aux_levels))
             )

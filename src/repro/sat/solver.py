@@ -20,9 +20,12 @@ variable ``v`` is encoded as ``2*v`` (positive) or ``2*v + 1``
 from __future__ import annotations
 
 import heapq
+from time import perf_counter
 from typing import Iterable, Iterator, List, Optional, Sequence
 
 from ..errors import ZenSolverError
+from ..telemetry.metrics import delta as _stats_delta
+from ..telemetry.spans import TRACER
 
 _UNASSIGNED = -1
 _FALSE = 0
@@ -109,6 +112,10 @@ class Solver:
         # Cooperative resource governance (duck-typed BudgetMeter; the
         # solver never imports repro.core.budget).
         self._meter = None
+        # Per-phase wall accounting (propagate/analyze/decide), active
+        # only while a traced solve is running; None keeps the search
+        # loop's cost at one identity check per phase call.
+        self._phase_time = None
         # Set by iter_models: True when the limit cut enumeration off
         # while more models existed, False when enumeration was
         # exhaustive, None before any enumeration finished.
@@ -143,6 +150,14 @@ class Solver:
         self._conflicts = 0
         self._decisions = 0
         self._propagations = 0
+
+    def snapshot(self) -> dict:
+        """Flat numeric counter snapshot (shared counter protocol)."""
+        return dict(self.statistics)
+
+    def reset_counters(self) -> None:
+        """Canonical reset spelling (alias of :meth:`reset_statistics`)."""
+        self.reset_statistics()
 
     def new_var(self) -> int:
         """Allocate a fresh variable and return its (positive) index."""
@@ -219,6 +234,16 @@ class Solver:
         self._failed_assumptions = []
         self._model = []
         if not self._ok:
+            # Unsat discovered at level 0 (during clause loading); no
+            # search runs, but the instant answer still belongs on the
+            # timeline.
+            if TRACER.enabled:
+                TRACER.record(
+                    "sat.solve",
+                    TRACER.now_wall(),
+                    0.0,
+                    {"result": "unsat", "level0": True},
+                )
             return False
         meter = budget
         if meter is not None and not hasattr(meter, "on_conflict"):
@@ -226,6 +251,12 @@ class Solver:
         assume = [self._internal(lit) for lit in assumptions]
         restarts = 0
         self._meter = meter
+        solve_span = None
+        before = None
+        if TRACER.enabled:
+            solve_span = TRACER.begin("sat.solve")
+            before = self.snapshot()
+            self._phase_time = {"propagate": 0.0, "analyze": 0.0, "decide": 0.0}
         try:
             while True:
                 if meter is not None:
@@ -234,12 +265,23 @@ class Solver:
                 self._next_assumption = 0
                 status = self._search(100 * luby(restarts + 1), assume)
                 if status is not None:
+                    if solve_span is not None:
+                        solve_span.attrs["result"] = (
+                            "sat" if status else "unsat"
+                        )
                     return status
                 restarts += 1
                 self._cancel_until(0)
         finally:
             self._meter = None
             self._cancel_until(0)
+            if solve_span is not None:
+                solve_span.attrs["restarts"] = restarts
+                solve_span.attrs.update(_stats_delta(before, self.snapshot()))
+                for phase, secs in self._phase_time.items():
+                    solve_span.attrs[f"{phase}_s"] = round(secs, 6)
+                self._phase_time = None
+                TRACER.finish(solve_span)
 
     def model_value(self, var: int) -> bool:
         """Return the value of a variable in the most recent model."""
@@ -584,8 +626,14 @@ class Solver:
         """
         conflicts_here = 0
         meter = self._meter
+        phase_time = self._phase_time
         while True:
-            conflict = self._propagate()
+            if phase_time is None:
+                conflict = self._propagate()
+            else:
+                t0 = perf_counter()
+                conflict = self._propagate()
+                phase_time["propagate"] += perf_counter() - t0
             if conflict is not None:
                 self._conflicts += 1
                 conflicts_here += 1
@@ -599,7 +647,12 @@ class Solver:
                     # The conflict only depends on assumptions.
                     self._extract_failed(assumptions)
                     return False
-                learned, bt_level = self._analyze(conflict)
+                if phase_time is None:
+                    learned, bt_level = self._analyze(conflict)
+                else:
+                    t0 = perf_counter()
+                    learned, bt_level = self._analyze(conflict)
+                    phase_time["analyze"] += perf_counter() - t0
                 bt_level = max(bt_level, self._num_assumed_levels)
                 if len(learned) == 1:
                     self._cancel_until(0)
@@ -634,7 +687,12 @@ class Solver:
                 self._num_assumed_levels = len(self._trail_lim)
                 self._enqueue(ilit, None)
                 continue
-            v = self._decide()
+            if phase_time is None:
+                v = self._decide()
+            else:
+                t0 = perf_counter()
+                v = self._decide()
+                phase_time["decide"] += perf_counter() - t0
             if v == 0:
                 self._model = list(self._value)
                 return True

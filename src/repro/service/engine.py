@@ -50,6 +50,8 @@ from ..errors import (
     ZenServiceError,
     ZenTypeError,
 )
+from ..telemetry.profile import QueryProfile, profile_from_spans
+from ..telemetry.spans import TRACER, span
 from .breaker import CircuitBreaker
 from .spec import QuerySpec
 from .worker import worker_main
@@ -80,7 +82,11 @@ class AttemptRecord:
       message (empty on success);
     * ``backoff_s`` — the backoff delay scheduled *after* this attempt
       (0 when it was the last attempt on its rung);
-    * ``elapsed_s`` — wall-clock duration of the attempt;
+    * ``elapsed_s`` — wall-clock duration of the attempt (also
+      available as :attr:`duration_ms`);
+    * ``queue_wait_s`` — how long the task sat eligible-but-unserved
+      before this attempt was submitted (pool contention + backoff
+      skew; 0 for sheds, which never reach a worker);
     * ``breaker_state`` — the backend's breaker state right after the
       outcome was recorded.
     """
@@ -93,7 +99,13 @@ class AttemptRecord:
     error: str = ""
     backoff_s: float = 0.0
     elapsed_s: float = 0.0
+    queue_wait_s: float = 0.0
     breaker_state: str = ""
+
+    @property
+    def duration_ms(self) -> float:
+        """Wall-clock duration of this attempt in milliseconds."""
+        return self.elapsed_s * 1000.0
 
 
 @dataclass(frozen=True)
@@ -110,6 +122,10 @@ class ServiceResult:
     For differential-oracle runs, ``agreed`` is True when both
     backends completed and concurred (None when only one side
     finished) and ``answers`` maps each backend to its answer.
+
+    When the parent's tracer was enabled for the query, ``profile``
+    is a :class:`~repro.telemetry.QueryProfile` built from the
+    answering worker's span tree (compile/solve/kernel timings).
     """
 
     answer: Any
@@ -123,6 +139,7 @@ class ServiceResult:
     elapsed_s: float = 0.0
     agreed: Optional[bool] = None
     answers: Optional[Dict[str, Any]] = None
+    profile: Optional[QueryProfile] = None
 
     @property
     def retried(self) -> bool:
@@ -213,6 +230,8 @@ class _Task:
         "ready_at",
         "deadline",
         "submitted_at",
+        "enqueued_at",
+        "queue_wait_s",
         "started_at",
         "finished_at",
         "attempts",
@@ -232,6 +251,8 @@ class _Task:
         self.ready_at = 0.0
         self.deadline: Optional[float] = None
         self.submitted_at = 0.0
+        self.enqueued_at = 0.0
+        self.queue_wait_s = 0.0
         self.started_at: Optional[float] = None
         self.finished_at: Optional[float] = None
         self.attempts: List[AttemptRecord] = []
@@ -393,7 +414,8 @@ class QueryEngine:
             _Task(i, spec, self._ladder(spec, fallback))
             for i, spec in enumerate(specs)
         ]
-        self._execute(tasks)
+        with span("service.run_many", queries=len(specs)):
+            self._execute(tasks)
         out: List[Union[ServiceResult, ZenServiceError]] = []
         for task in tasks:
             out.append(task.result if task.result is not None else task.error)
@@ -451,7 +473,10 @@ class QueryEngine:
         group = {"race": race, "tasks": tasks}
         for task in tasks:
             task.group = group
-        self._execute(tasks)
+        with span(
+            "service.run_differential", backends=list(sides), race=race
+        ):
+            self._execute(tasks)
 
         combined: Tuple[AttemptRecord, ...] = tuple(
             record for task in tasks for record in task.attempts
@@ -511,6 +536,9 @@ class QueryEngine:
     def _execute(self, tasks: List[_Task]) -> None:
         pending: List[_Task] = list(tasks)
         inflight: Dict[_WorkerHandle, _Task] = {}
+        enqueue_time = self._clock()
+        for task in tasks:
+            task.enqueued_at = enqueue_time
         try:
             while not all(task.done for task in tasks):
                 now = self._clock()
@@ -586,9 +614,18 @@ class QueryEngine:
                 continue
             handle.ensure()
             spec = task.spec.with_backend(backend)
+            if TRACER.enabled:
+                # Parent is profiling: have the worker trace this
+                # execution and ship its span tree back in the reply.
+                spec = spec.with_trace(True)
             self._seq += 1
             task.seq = self._seq
             task.submitted_at = now
+            # Queue wait: time between becoming eligible (enqueue, or
+            # the end of the previous attempt's backoff) and now.
+            task.queue_wait_s = max(
+                0.0, now - max(task.ready_at, task.enqueued_at)
+            )
             if task.started_at is None:
                 task.started_at = now
             timeout = (
@@ -727,9 +764,24 @@ class QueryEngine:
                     worker_pid=pid,
                     outcome="ok",
                     elapsed_s=elapsed,
+                    queue_wait_s=task.queue_wait_s,
                     breaker_state=breaker.state,
                 )
             )
+            profile = None
+            worker_spans = info.get("spans")
+            if worker_spans and TRACER.enabled:
+                # Merge the worker's timeline into the parent trace
+                # (the foreign pid keeps it on its own track) and
+                # condense it into the result's profile.
+                for tree in worker_spans:
+                    TRACER.adopt(tree)
+                profile = profile_from_spans(
+                    worker_spans,
+                    query=f"query.{task.spec.kind}",
+                    backend=backend,
+                    counters=dict(info.get("stats", {})),
+                )
             task.result = ServiceResult(
                 answer=info.get("answer"),
                 backend=backend,
@@ -740,6 +792,7 @@ class QueryEngine:
                 attempts=tuple(task.attempts),
                 stats=dict(info.get("stats", {})),
                 elapsed_s=now - (task.started_at or now),
+                profile=profile,
             )
             task.finish(now)
             return
@@ -775,6 +828,7 @@ class QueryEngine:
                     error_type=error_type,
                     error=message,
                     elapsed_s=elapsed,
+                    queue_wait_s=task.queue_wait_s,
                     breaker_state=breaker.state,
                 )
             )
@@ -850,6 +904,7 @@ class QueryEngine:
             task.ladder_pos += 1
             task.attempt = 0
             task.ready_at = now
+        duration = elapsed if elapsed is not None else now - task.submitted_at
         task.attempts.append(
             AttemptRecord(
                 backend=backend,
@@ -859,12 +914,26 @@ class QueryEngine:
                 error_type=error_type,
                 error=message,
                 backoff_s=backoff,
-                elapsed_s=(
-                    elapsed if elapsed is not None else now - task.submitted_at
-                ),
+                elapsed_s=duration,
+                queue_wait_s=task.queue_wait_s,
                 breaker_state=breaker.state,
             )
         )
+        if TRACER.enabled:
+            # Failed attempts ship no worker span tree (the reply is an
+            # error, or the worker is dead); file a retroactive span so
+            # retries are visible on the merged timeline.
+            TRACER.record(
+                f"attempt.{outcome}",
+                TRACER.now_wall() - duration,
+                duration,
+                {
+                    "backend": backend,
+                    "attempt": attempt_number,
+                    "error_type": error_type,
+                    "backoff_s": round(backoff, 4),
+                },
+            )
         pending.append(task)  # _launch finish-fails it if the ladder is done
 
     def _finish_failure(self, task, now) -> None:

@@ -23,6 +23,7 @@ from typing import Any, Dict, Optional, Tuple
 from ..core.budget import Budget, start_meter
 from ..core.function import DEFAULT_MAX_LIST_LENGTH, ZenFunction
 from ..errors import ZenTypeError
+from ..telemetry.spans import TRACER
 
 __all__ = ["QuerySpec", "resolve_ref", "run_spec"]
 
@@ -95,6 +96,11 @@ class QuerySpec:
     * ``args`` — concrete inputs for ``evaluate`` / ``call``.
     * ``label`` — free-form tag echoed through results and attempt
       records.
+    * ``trace`` — when True, the executing process records a trace of
+      the query (a ``task.<kind>`` root span over the compile/solve
+      instrumentation) and ships the serialized span tree back in the
+      result payload under ``"spans"``.  The engine sets this
+      automatically when the parent's tracer is enabled.
     """
 
     builder: Any
@@ -111,6 +117,7 @@ class QuerySpec:
     timeout_s: Optional[float] = None
     rss_limit_bytes: Optional[int] = None
     label: str = ""
+    trace: bool = False
 
     def __post_init__(self) -> None:
         if self.kind not in QUERY_KINDS:
@@ -142,6 +149,12 @@ class QuerySpec:
             return self
         return replace(self, backend=backend)
 
+    def with_trace(self, trace: bool = True) -> "QuerySpec":
+        """A copy of this spec with tracing switched on (or off)."""
+        if trace == self.trace:
+            return self
+        return replace(self, trace=trace)
+
 
 def _build_function(spec: QuerySpec) -> ZenFunction:
     return ZenFunction.from_ref(
@@ -154,10 +167,40 @@ def run_spec(spec: QuerySpec) -> Dict[str, Any]:
 
     Returns a picklable payload: ``answer`` (the analysis result),
     ``stats`` (the budget meter's final snapshot, ``{}`` when the spec
-    carries no budget), and ``function`` (the model's name).  Raises
-    whatever the underlying analysis raises — the worker loop converts
-    exceptions into structured replies.
+    carries no budget), and ``function`` (the model's name).  With
+    ``spec.trace`` the payload additionally carries ``"spans"`` — the
+    serialized trace of this execution (rooted at a ``task.<kind>``
+    span) — so a parent process can merge a worker's timeline into its
+    own.  Raises whatever the underlying
+    analysis raises — the worker loop converts exceptions into
+    structured replies.
     """
+    if not spec.trace:
+        return _execute_spec(spec)
+    # A worker starts each task with a clean, disabled tracer; an
+    # in-process caller may already be tracing, in which case the root
+    # joins the caller's tree *and* is shipped in the payload.
+    fresh = not TRACER.enabled
+    if fresh:
+        TRACER.reset()
+        TRACER.enable()
+    # Named task.<kind> (not query.<kind>) so the wrapper does not
+    # collide with the analysis's own query.* span in profile phases.
+    root = TRACER.begin(
+        f"task.{spec.kind}",
+        {"label": spec.label, "backend": spec.backend},
+    )
+    try:
+        payload = _execute_spec(spec)
+    finally:
+        TRACER.finish(root)
+        if fresh:
+            TRACER.disable()
+    payload["spans"] = [root.to_dict()]
+    return payload
+
+
+def _execute_spec(spec: QuerySpec) -> Dict[str, Any]:
     if spec.kind == "call":
         target = resolve_ref(spec.builder)
         if not callable(target):

@@ -30,6 +30,7 @@ import sys
 import traceback
 from typing import Any, Dict, Optional, Tuple
 
+from ..telemetry.spans import TRACER
 from .spec import QuerySpec, run_spec
 
 __all__ = ["worker_main", "execute_task", "describe_exception"]
@@ -141,6 +142,11 @@ def worker_main(conn, config: Optional[Dict[str, Any]] = None) -> None:
     for entry in reversed(config.get("sys_path", [])):
         if entry not in sys.path:
             sys.path.insert(0, entry)
+    # With the fork start method this process inherits the parent's
+    # tracer — enabled flag and the forking thread's live span stack
+    # included.  Neither belongs to this worker's timeline: tracing is
+    # re-enabled per task by run_spec when the spec asks for it.
+    TRACER.hard_reset()
     while True:
         try:
             message = conn.recv()

@@ -1,0 +1,110 @@
+"""Per-query profiles: the summary a result carries home.
+
+A :class:`QueryProfile` condenses one query's span tree into the
+numbers a caller tuning backends actually wants — total wall time,
+time per phase (compile / solve / validate / bdd kernels), and the
+counter deltas the run consumed — while keeping the serialized span
+tree for full-fidelity export.  It is deliberately a plain, picklable
+dataclass: profiles ride on :class:`~repro.core.budget.QueryResult`
+and :class:`~repro.service.engine.ServiceResult`, both of which may
+cross process boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from .spans import Span
+
+__all__ = ["QueryProfile", "profile_from_spans"]
+
+
+@dataclass(frozen=True)
+class QueryProfile:
+    """Condensed timing/counter summary of one query.
+
+    * ``query`` — span name of the root (e.g. ``query.verify``).
+    * ``backend`` — backend that produced the answer, if known.
+    * ``total_s`` — wall time of the root span(s).
+    * ``phases`` — seconds per span name, summed over the whole tree
+      (self-time is not subtracted: ``query.find`` contains ``solve``).
+    * ``counts`` — occurrences per span name.
+    * ``counters`` — flat numeric counter deltas (solver conflicts,
+      BDD cache hits, ...), from whichever subsystems reported them.
+    * ``spans`` — the serialized span trees (``Span.to_dict`` dicts),
+      ready for :func:`~repro.telemetry.export.write_chrome_trace`.
+    """
+
+    query: str = ""
+    backend: Optional[str] = None
+    total_s: float = 0.0
+    phases: Dict[str, float] = field(default_factory=dict)
+    counts: Dict[str, int] = field(default_factory=dict)
+    counters: Dict[str, float] = field(default_factory=dict)
+    spans: List[Dict[str, Any]] = field(default_factory=list)
+
+    def phase_ms(self, name: str) -> float:
+        """Milliseconds spent in spans called ``name`` (0 if absent)."""
+        return self.phases.get(name, 0.0) * 1000.0
+
+    def summary(self) -> str:
+        """One-line human summary (top phases by time)."""
+        top = sorted(self.phases.items(), key=lambda kv: -kv[1])[:4]
+        phases = ", ".join(f"{name} {secs * 1000:.1f}ms" for name, secs in top)
+        backend = f" [{self.backend}]" if self.backend else ""
+        return (
+            f"{self.query or 'query'}{backend}: "
+            f"{self.total_s * 1000:.1f}ms total ({phases})"
+        )
+
+
+def _iter_nodes(tree: Dict[str, Any]):
+    stack = [tree]
+    while stack:
+        node = stack.pop()
+        yield node
+        stack.extend(node.get("children", ()))
+
+
+def profile_from_spans(
+    roots: List[Any],
+    query: str = "",
+    backend: Optional[str] = None,
+    counters: Optional[Dict[str, float]] = None,
+) -> QueryProfile:
+    """Build a :class:`QueryProfile` from span trees.
+
+    ``roots`` may mix :class:`Span` objects and ``Span.to_dict``
+    dicts.  ``query`` defaults to the first root's name; ``total_s``
+    is the sum of root durations.
+    """
+    trees = [
+        root.to_dict() if isinstance(root, Span) else root for root in roots
+    ]
+    phases: Dict[str, float] = {}
+    counts: Dict[str, int] = {}
+    merged_counters: Dict[str, float] = dict(counters or {})
+    for tree in trees:
+        for node in _iter_nodes(tree):
+            name = node.get("name", "")
+            phases[name] = phases.get(name, 0.0) + float(node.get("dur", 0.0))
+            counts[name] = counts.get(name, 0) + 1
+            for key, value in (node.get("attrs") or {}).items():
+                if isinstance(value, bool) or not isinstance(
+                    value, (int, float)
+                ):
+                    continue
+                counter_key = f"{name}.{key}"
+                merged_counters[counter_key] = (
+                    merged_counters.get(counter_key, 0.0) + value
+                )
+    return QueryProfile(
+        query=query or (trees[0].get("name", "") if trees else ""),
+        backend=backend,
+        total_s=sum(float(tree.get("dur", 0.0)) for tree in trees),
+        phases=phases,
+        counts=counts,
+        counters=merged_counters,
+        spans=trees,
+    )
