@@ -2,22 +2,33 @@
 
 Measures, per pool size (1/2/4 workers by default):
 
-* ``p50_ms`` / ``p95_ms`` — per-query wall-clock latency for a mixed
-  portfolio of find/verify/generate_inputs specs submitted through
-  ``run_many`` (so the scheduler, pipe protocol, and pickling overhead
-  are all inside the measured path);
+* ``p50_ms`` / ``p95_ms`` / ``p99_ms`` — per-query wall-clock latency
+  for a mixed portfolio of find/verify/generate_inputs specs submitted
+  through ``run_many`` (so the scheduler, batching wire protocol, and
+  pickling overhead are all inside the measured path);
 * ``throughput_qps`` — portfolio size over total wall-clock;
+* ``cache`` — warm-model-cache hit/miss/evict totals and hit rate
+  (the PR 5 warm-dispatch path);
+* ``batch`` — how many pipe round-trips the portfolio cost and the
+  mean specs-per-round-trip;
 * ``retries`` / ``breaker_trips`` / ``worker_restarts`` — recovery
   counters from a fault round that mixes crashing workers into the
   same portfolio, demonstrating the overhead of isolation *with*
-  faults in the stream.
+  faults in the stream (crash-loop suppression keeps restarts bounded).
+
+A final **sustained-load** row floods the largest pool with a
+repeated-builder stream (10k+ queries in full mode) — the scenario the
+warm cache exists for — and reports p50/p95/p99, throughput, and the
+compiled-model cache hit rate.
 
 Latency percentiles come from per-query ``elapsed_s`` in the
-:class:`~repro.service.ServiceResult` attempt records, not from
-end-to-end batch time, so queueing delay behind a busy pool is
-excluded from p50/p95 (it is visible in throughput instead).
+:class:`~repro.service.ServiceResult` records, not from end-to-end
+batch time, so queueing delay behind a busy pool is excluded from the
+percentiles (it is visible in throughput instead).
 
-Emits ``BENCH_service.json`` so successive PRs can compare numbers.
+Emits ``BENCH_service.json`` so successive PRs can compare numbers
+(``benchmarks/report.py --check-scaling`` gates on the pool sweep
+staying monotone).
 
 Usage:  PYTHONPATH=src:. python benchmarks/bench_service.py [--quick]
 (the ``.`` lets workers resolve the ``tests.service_faults`` builders)
@@ -38,12 +49,56 @@ UNSAT = "tests.service_faults:unsat_model"
 PARITY = "tests.service_faults:parity_model"
 CRASH = "tests.service_faults:crash_model"
 
+MAGIC = 12345
+
 
 def percentile(samples, q: float) -> float:
     """Nearest-rank percentile of a non-empty sample list."""
     ordered = sorted(samples)
     index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
     return ordered[index]
+
+
+def latency_stats(results) -> dict:
+    latencies_ms = [r.elapsed_s * 1000 for r in results]
+    return {
+        "p50_ms": percentile(latencies_ms, 0.50),
+        "p95_ms": percentile(latencies_ms, 0.95),
+        "p99_ms": percentile(latencies_ms, 0.99),
+    }
+
+
+def cache_summary(engine: QueryEngine) -> dict:
+    stats = engine.cache_stats()
+    return {
+        "hit": stats["hit"],
+        "miss": stats["miss"],
+        "evict": stats["evict"],
+        "hit_rate": round(stats["hit_rate"], 4),
+    }
+
+
+def batch_summary(engine: QueryEngine) -> dict:
+    stats = engine.dispatch_stats()
+    return {
+        "batches": stats["batches"],
+        "mean_batch_size": round(stats["mean_batch_size"], 2),
+        "max_batch_size": stats["max_batch_size"],
+        "sticky_hits": stats["sticky_hits"],
+        "steals": stats["steals"],
+    }
+
+
+def make_engine(pool_size: int) -> QueryEngine:
+    return QueryEngine(
+        pool_size=pool_size,
+        retries=1,
+        backoff_base_s=0.01,
+        backoff_max_s=0.05,
+        breaker_threshold=1_000,  # clean rounds must never trip
+        default_timeout_s=60.0,
+        max_batch_size=16,
+    )
 
 
 def portfolio(queries: int) -> list:
@@ -61,19 +116,29 @@ def portfolio(queries: int) -> list:
     return specs
 
 
+def sustained_portfolio(queries: int) -> list:
+    """Repeated-builder stream: the warm cache's home turf."""
+    specs = []
+    kinds = [
+        QuerySpec(builder=EQ, label="find-sat"),
+        QuerySpec(builder=EQ, kind="evaluate", args=(MAGIC,),
+                  label="evaluate"),
+        QuerySpec(builder=UNSAT, label="find-unsat"),
+        QuerySpec(builder=EQ, backend="bdd", label="find-bdd"),
+    ]
+    for i in range(queries):
+        specs.append(kinds[i % len(kinds)])
+    return specs
+
+
 def bench_pool(pool_size: int, queries: int) -> dict:
     """Latency/throughput for a clean portfolio, then a faulty round."""
     specs = portfolio(queries)
-    with QueryEngine(
-        pool_size=pool_size,
-        retries=1,
-        backoff_base_s=0.01,
-        backoff_max_s=0.05,
-        breaker_threshold=1_000,  # clean round: never trip
-        default_timeout_s=60.0,
-    ) as engine:
-        # Warm the pool (imports, first builder resolution) off-clock.
-        engine.run(QuerySpec(builder=EQ, label="warmup"))
+    with make_engine(pool_size) as engine:
+        # Warm the pool off-clock: one full pass spawns every sticky
+        # worker (interpreter + imports) and fills the model caches,
+        # so the timed round measures steady-state dispatch.
+        engine.run_many(specs)
 
         start = time.perf_counter()
         results = engine.run_many(specs)
@@ -81,7 +146,6 @@ def bench_pool(pool_size: int, queries: int) -> dict:
         errors = [r for r in results if isinstance(r, ZenServiceError)]
         if errors:
             raise SystemExit(f"clean round failed: {errors[0]}")
-        latencies_ms = [r.elapsed_s * 1000 for r in results]
 
         # Fault round: every 4th query crashes its worker; the rest of
         # the stream must still complete while the pool respawns.
@@ -96,32 +160,60 @@ def bench_pool(pool_size: int, queries: int) -> dict:
             r for r in fault_results if not isinstance(r, ZenServiceError)
         ]
         retries = sum(
-            max(0, len(r.attempts) - 1)
+            sum(
+                1
+                for a in r.attempts
+                if a.outcome not in ("shed", "crash_loop")
+            )
+            - 1
             for r in fault_results
-            if not isinstance(r, ZenServiceError)
-        ) + sum(
-            max(0, len(r.attempts) - 1)
-            for r in fault_results
-            if isinstance(r, ZenServiceError)
+            if len(r.attempts) > 0
         )
         return {
             "pool_size": pool_size,
             "queries": queries,
-            "p50_ms": percentile(latencies_ms, 0.50),
-            "p95_ms": percentile(latencies_ms, 0.95),
+            **latency_stats(results),
             "throughput_qps": queries / wall_s if wall_s else float("inf"),
             "wall_s": wall_s,
+            "cache": cache_summary(engine),
+            "batch": batch_summary(engine),
             "fault_round": {
                 "queries": len(faulty),
                 "survivors": len(survivors),
                 "failed": len(faulty) - len(survivors),
                 "wall_s": fault_wall_s,
-                "retries": retries,
+                "retries": max(0, retries),
                 "breaker_trips": sum(
                     b.trips for b in engine.breakers.values()
                 ),
                 "worker_restarts": engine.total_restarts(),
             },
+        }
+
+
+def bench_sustained(pool_size: int, queries: int) -> dict:
+    """Flood the pool with a repeated-builder stream (no faults)."""
+    specs = sustained_portfolio(queries)
+    with make_engine(pool_size) as engine:
+        engine.run_many(sustained_portfolio(4 * pool_size))
+        start = time.perf_counter()
+        results = engine.run_many(specs)
+        wall_s = time.perf_counter() - start
+        errors = [r for r in results if isinstance(r, ZenServiceError)]
+        if errors:
+            raise SystemExit(f"sustained round failed: {errors[0]}")
+        cache = cache_summary(engine)
+        return {
+            "scenario": "sustained",
+            "pool_size": pool_size,
+            "queries": queries,
+            **latency_stats(results),
+            "throughput_qps": queries / wall_s if wall_s else float("inf"),
+            "wall_s": wall_s,
+            "cache": cache,
+            "cache_hit_rate": cache["hit_rate"],
+            "batch": batch_summary(engine),
+            "worker_restarts": engine.total_restarts(),
         }
 
 
@@ -133,6 +225,11 @@ def main() -> None:
     parser.add_argument(
         "--pools", type=int, nargs="+", default=[1, 2, 4],
         help="worker pool sizes to sweep",
+    )
+    parser.add_argument(
+        "--sustained-queries", type=int, default=None,
+        help="override the sustained-load stream length "
+        "(default 10000, or 400 with --quick)",
     )
     parser.add_argument(
         "--out",
@@ -147,7 +244,12 @@ def main() -> None:
         parser.error("--pools entries must be >= 1")
 
     queries = 12 if args.quick else 48
+    sustained = args.sustained_queries
+    if sustained is None:
+        sustained = 400 if args.quick else 10_000
+
     results = [bench_pool(pool, queries) for pool in args.pools]
+    results.append(bench_sustained(max(args.pools), sustained))
 
     report = {
         "bench": "service",
@@ -158,16 +260,23 @@ def main() -> None:
     args.out.write_text(json.dumps(report, indent=2) + "\n")
 
     print(
-        f"{'pool':>5} {'p50_ms':>8} {'p95_ms':>8} {'qps':>7}"
-        f" {'retries':>8} {'trips':>6} {'restarts':>9}"
+        f"{'scenario':>10} {'pool':>5} {'queries':>8} {'p50_ms':>8}"
+        f" {'p95_ms':>8} {'p99_ms':>8} {'qps':>8} {'hit%':>6}"
+        f" {'batch':>6} {'restarts':>9}"
     )
     for row in results:
-        fault = row["fault_round"]
+        fault = row.get("fault_round", {})
+        restarts = fault.get(
+            "worker_restarts", row.get("worker_restarts", 0)
+        )
         print(
-            f"{row['pool_size']:>5} {row['p50_ms']:>8.1f}"
-            f" {row['p95_ms']:>8.1f} {row['throughput_qps']:>7.1f}"
-            f" {fault['retries']:>8} {fault['breaker_trips']:>6}"
-            f" {fault['worker_restarts']:>9}"
+            f"{row.get('scenario', 'mixed'):>10}"
+            f" {row['pool_size']:>5} {row['queries']:>8}"
+            f" {row['p50_ms']:>8.1f} {row['p95_ms']:>8.1f}"
+            f" {row['p99_ms']:>8.1f} {row['throughput_qps']:>8.1f}"
+            f" {row['cache']['hit_rate'] * 100:>6.1f}"
+            f" {row['batch']['mean_batch_size']:>6.2f}"
+            f" {restarts:>9}"
         )
     print(f"\nwrote {args.out}")
 

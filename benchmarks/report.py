@@ -9,11 +9,19 @@ It is also the aggregation point for the persisted benchmark
 artifacts: every ``BENCH_*.json`` in the repo root shares one schema
 (``{"bench": str, "quick": bool, "python": str, "results": [dict]}``)
 so successive PRs can diff them mechanically.  ``--check-bench``
-validates all of them (CI runs this after each benchmark step), and
-the report folds ``BENCH_service.json`` into a summary table
-alongside the live sweeps.
+validates all of them (CI runs this after each benchmark step) —
+service rows additionally must carry the PR 5 warm-dispatch fields
+(p99, cache hit rate, batch stats) — and the report folds
+``BENCH_service.json`` into a summary table alongside the live sweeps.
 
-Usage:  python benchmarks/report.py [--full | --check-bench]
+``--check-scaling`` gates on the service pool sweep: throughput must
+not *decrease* as the pool grows (beyond ``--scaling-tolerance``).
+This is the regression the warm-dispatch scheduler exists to prevent —
+the pre-PR-5 pool inverted (pool=4 slower than pool=1) because every
+query paid a fresh round-trip and a cold model build.
+
+Usage:  python benchmarks/report.py
+            [--full | --check-bench | --check-scaling [--warn-only]]
 """
 
 from __future__ import annotations
@@ -38,6 +46,52 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 #: The shared top-level schema every persisted benchmark artifact
 #: (``BENCH_*.json``) must follow.
 BENCH_SCHEMA = {"bench": str, "quick": bool, "python": str, "results": list}
+
+#: Extra fields every row of a ``bench == "service"`` artifact must
+#: carry since the warm-dispatch PR (numbers unless noted).
+SERVICE_ROW_SCHEMA = {
+    "pool_size": int,
+    "queries": int,
+    "p50_ms": (int, float),
+    "p95_ms": (int, float),
+    "p99_ms": (int, float),
+    "throughput_qps": (int, float),
+    "cache": dict,
+    "batch": dict,
+}
+
+SERVICE_CACHE_KEYS = ("hit", "miss", "evict", "hit_rate")
+SERVICE_BATCH_KEYS = ("batches", "mean_batch_size", "max_batch_size")
+
+#: Allowed fractional throughput drop between successive pool sizes
+#: before --check-scaling complains.
+DEFAULT_SCALING_TOLERANCE = 0.15
+
+
+def _check_service_row(i: int, row: dict) -> list:
+    problems = []
+    for key, expected in SERVICE_ROW_SCHEMA.items():
+        if key not in row:
+            problems.append(f"results[{i}] missing service key {key!r}")
+        elif not isinstance(row[key], expected) or isinstance(
+            row[key], bool
+        ):
+            problems.append(
+                f"results[{i}].{key} has wrong type "
+                f"{type(row[key]).__name__}"
+            )
+    for sub, keys in (
+        ("cache", SERVICE_CACHE_KEYS),
+        ("batch", SERVICE_BATCH_KEYS),
+    ):
+        block = row.get(sub)
+        if isinstance(block, dict):
+            for key in keys:
+                if key not in block:
+                    problems.append(
+                        f"results[{i}].{sub} missing key {key!r}"
+                    )
+    return problems
 
 
 def check_bench_file(path: Path) -> list:
@@ -67,6 +121,8 @@ def check_bench_file(path: Path) -> list:
         for i, row in enumerate(results):
             if not isinstance(row, dict):
                 problems.append(f"results[{i}] must be an object")
+            elif data.get("bench") == "service":
+                problems.extend(_check_service_row(i, row))
     return problems
 
 
@@ -89,6 +145,72 @@ def check_bench_files(root: Path = REPO_ROOT) -> int:
     return bad
 
 
+def check_scaling(
+    root: Path = REPO_ROOT,
+    tolerance: float = DEFAULT_SCALING_TOLERANCE,
+    warn_only: bool = False,
+) -> int:
+    """Gate on BENCH_service.json throughput scaling with pool size.
+
+    The pool-sweep rows (everything except the ``sustained`` scenario)
+    must show non-decreasing throughput as ``pool_size`` grows — a
+    larger pool may never fall more than ``tolerance`` (fractional)
+    below the best throughput of any smaller pool.  Returns the number
+    of violations (0 with ``warn_only``, which prints them as warnings
+    instead of failing).
+    """
+    path = root / "BENCH_service.json"
+    if not path.is_file():
+        print(f"check-scaling: {path.name} not found, nothing to check")
+        return 0
+    problems = check_bench_file(path)
+    if problems:
+        print(f"check-scaling: {path.name} invalid: {'; '.join(problems)}")
+        return 0 if warn_only else 1
+    data = json.loads(path.read_text())
+    sweep = sorted(
+        (
+            row
+            for row in data["results"]
+            if row.get("scenario", "mixed") != "sustained"
+        ),
+        key=lambda row: row["pool_size"],
+    )
+    if len(sweep) < 2:
+        print("check-scaling: fewer than 2 pool sizes, nothing to check")
+        return 0
+    violations = 0
+    best_qps = sweep[0]["throughput_qps"]
+    best_pool = sweep[0]["pool_size"]
+    print(
+        f"check-scaling: {path.name} "
+        f"({'quick' if data.get('quick') else 'full'} run, "
+        f"tolerance {tolerance:.0%})"
+    )
+    for row in sweep[1:]:
+        qps = row["throughput_qps"]
+        floor = best_qps * (1.0 - tolerance)
+        status = "ok"
+        if qps < floor:
+            violations += 1
+            status = "WARN" if warn_only else "FAIL"
+        print(
+            f"  pool={row['pool_size']}: {qps:.0f} qps vs best "
+            f"{best_qps:.0f} (pool={best_pool}) -> {status}"
+        )
+        if qps > best_qps:
+            best_qps, best_pool = qps, row["pool_size"]
+    if violations:
+        print(
+            f"check-scaling: throughput inverts with pool size "
+            f"({violations} violation(s)) — the pool is doing "
+            f"negative work"
+        )
+    else:
+        print("check-scaling: throughput is monotone (within tolerance)")
+    return 0 if warn_only else violations
+
+
 def service_summary(root: Path = REPO_ROOT) -> None:
     """Fold BENCH_service.json (if present) into the printed report."""
     path = root / "BENCH_service.json"
@@ -102,21 +224,31 @@ def service_summary(root: Path = REPO_ROOT) -> None:
     mode = "quick" if data.get("quick") else "full"
     print(f"\nQuery service ({path.name}, {mode} run):")
     print(
-        f"{'pool':>6} {'p50_ms':>9} {'p95_ms':>9} {'qps':>9} "
+        f"{'scenario':>10} {'pool':>6} {'p50_ms':>9} {'p95_ms':>9} "
+        f"{'p99_ms':>9} {'qps':>9} {'hit%':>6} "
         f"{'fault_survivors':>16} {'restarts':>9}"
     )
     for row in data["results"]:
         fault = row.get("fault_round", {})
-        survivors = (
-            f"{fault.get('survivors', '?')}/{fault.get('queries', '?')}"
-        )
+        if fault:
+            survivors = (
+                f"{fault.get('survivors', '?')}/{fault.get('queries', '?')}"
+            )
+            restarts = fault.get("worker_restarts", 0)
+        else:
+            survivors = "-"
+            restarts = row.get("worker_restarts", 0)
+        hit_rate = row.get("cache", {}).get("hit_rate", 0.0)
         print(
+            f"{row.get('scenario', 'mixed'):>10} "
             f"{row.get('pool_size', '?'):>6} "
             f"{row.get('p50_ms', 0.0):>9.2f} "
             f"{row.get('p95_ms', 0.0):>9.2f} "
+            f"{row.get('p99_ms', 0.0):>9.2f} "
             f"{row.get('throughput_qps', 0.0):>9.0f} "
+            f"{hit_rate * 100:>6.1f} "
             f"{survivors:>16} "
-            f"{fault.get('worker_restarts', 0):>9}"
+            f"{restarts:>9}"
         )
 
 
@@ -218,9 +350,39 @@ def main() -> None:
         help="validate all BENCH_*.json artifacts against the shared "
         "schema and exit (non-zero on any invalid file)",
     )
+    parser.add_argument(
+        "--check-scaling",
+        action="store_true",
+        help="gate on BENCH_service.json throughput being monotone "
+        "(non-decreasing) in pool size and exit",
+    )
+    parser.add_argument(
+        "--scaling-tolerance",
+        type=float,
+        default=DEFAULT_SCALING_TOLERANCE,
+        help="allowed fractional throughput drop vs the best smaller "
+        "pool before --check-scaling flags it (default 0.15)",
+    )
+    parser.add_argument(
+        "--warn-only",
+        action="store_true",
+        help="with --check-scaling: report violations but exit 0 "
+        "(for noisy CI runners)",
+    )
     args = parser.parse_args()
+    if not 0.0 <= args.scaling_tolerance < 1.0:
+        parser.error("--scaling-tolerance must be in [0, 1)")
     if args.check_bench:
         sys.exit(1 if check_bench_files() else 0)
+    if args.check_scaling:
+        sys.exit(
+            1
+            if check_scaling(
+                tolerance=args.scaling_tolerance,
+                warn_only=args.warn_only,
+            )
+            else 0
+        )
     if args.full:
         acl_sizes = [125, 250, 500, 1000, 2000]
         rm_sizes = [20, 40, 60, 80, 100]

@@ -9,6 +9,14 @@ failing backends are shed by per-backend circuit breakers onto the
 fallback ladder, and a differential oracle cross-checks the SAT and
 BDD backends against each other.
 
+PR 5 adds the warm dispatch path: workers keep an LRU
+:class:`ModelCache` of resolved builders and compiled artifacts
+(epoch-invalidated by the parent), the scheduler routes repeat refs to
+their warm worker (sticky routing), one pipe round-trip batches many
+specs, and :meth:`QueryEngine.submit` / :meth:`QueryEngine.gather`
+plus the async ``run_async``/``run_many_async`` keep thousands of
+queries in flight from one caller.
+
 Public surface:
 
 * :class:`QuerySpec` — picklable description of one query;
@@ -17,11 +25,14 @@ Public surface:
   full execution history;
 * :class:`CircuitBreaker` / :class:`BreakerTransition` — the
   per-backend breaker state machine;
+* :class:`ModelCache` / :class:`CacheEntry` / :func:`ref_cache_key` —
+  the worker-side compiled-model cache and its keying;
 * :func:`run_spec` — in-process execution of a spec (dry runs, and
   what the worker itself calls).
 """
 
 from .breaker import CLOSED, HALF_OPEN, OPEN, BreakerTransition, CircuitBreaker
+from .cache import CacheEntry, ModelCache, ref_cache_key
 from .engine import AttemptRecord, QueryEngine, ServiceResult
 from .spec import QuerySpec, resolve_ref, run_spec
 
@@ -35,6 +46,9 @@ __all__ = [
     "CLOSED",
     "OPEN",
     "HALF_OPEN",
+    "ModelCache",
+    "CacheEntry",
+    "ref_cache_key",
     "resolve_ref",
     "run_spec",
 ]

@@ -11,7 +11,11 @@ in-process API cannot give:
   take the parent down;
 * **crash isolation + respawn** — a worker that dies (``os._exit``,
   native abort, OOM kill) is observed via pipe EOF and its exit
-  status, and a fresh worker replaces it before the next attempt;
+  status, and a fresh worker replaces it before the next attempt.
+  Benign in-worker exceptions come back as structured error replies
+  and never recycle the worker; a builder that keeps killing workers
+  trips per-ref crash-loop suppression after
+  ``crash_loop_threshold`` worker deaths;
 * **retries with exponential backoff + jitter** — crash/timeout/OOM
   outcomes are retried up to ``retries`` times per backend rung;
 * **per-backend circuit breakers** — N consecutive failures open the
@@ -26,19 +30,48 @@ in-process API cannot give:
   verdicts the engine raises
   :class:`~repro.errors.ZenBackendDisagreement`.
 
-Every result carries its full attempt history — worker pids, attempt
-counts, backoff delays, breaker states — for observability.
+Warm dispatch (PR 5)
+--------------------
 
-The engine is a single-threaded scheduler: one loop owns the pool,
-multiplexes queries over idle workers, and watches deadlines.  It is
-not itself thread-safe; share specs, not engines, across threads.
+The dispatch path amortizes the per-query costs that made the pool
+anti-scale on tiny solves:
+
+* **warm workers** — each worker keeps a
+  :class:`~repro.service.cache.ModelCache` of resolved builder refs
+  and compiled artifacts; the engine owns the cache *epoch* and
+  invalidates every worker with :meth:`invalidate_cache`;
+* **sticky routing** — a task's builder ref hashes to a preferred
+  worker so repeat queries land on a warm cache; idle workers steal
+  foreign tasks only when the sticky worker is busy;
+* **request batching** — one pipe round-trip carries up to
+  ``max_batch_size`` specs and streams one reply per spec back, with
+  the hard deadline re-armed per spec as replies land;
+* **an asyncio-friendly front-end** — :meth:`submit` returns a
+  :class:`concurrent.futures.Future`, :meth:`gather` collects, and
+  :meth:`run_async` / :meth:`run_many_async` await the same futures
+  from an event loop.
+
+A persistent dispatcher thread owns the pool; the public API enqueues
+tasks and waits on futures, so any number of caller threads (or one
+event loop with thousands of in-flight queries) can share one engine.
+
+Every result carries its full attempt history — worker pids, attempt
+counts, backoff delays, breaker states, cache hits, batch sizes — for
+observability.
 """
 
 from __future__ import annotations
 
+import os
 import random
+import select
 import sys
+import threading
 import time
+import zlib
+from collections import deque
+from concurrent.futures import Future
+from concurrent.futures import wait as wait_futures
 from dataclasses import dataclass, field, replace
 from multiprocessing import connection, get_all_start_methods, get_context
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
@@ -50,9 +83,11 @@ from ..errors import (
     ZenServiceError,
     ZenTypeError,
 )
+from ..telemetry.metrics import METRICS
 from ..telemetry.profile import QueryProfile, profile_from_spans
-from ..telemetry.spans import TRACER, span
+from ..telemetry.spans import TRACER, Span, span
 from .breaker import CircuitBreaker
+from .cache import ref_cache_key
 from .spec import QuerySpec
 from .worker import worker_main
 
@@ -68,6 +103,12 @@ _CONFIG_ERRORS = frozenset(
 #: these are retried (with backoff) on the same backend.
 _RETRYABLE = frozenset({"crash", "timeout", "oom"})
 
+#: Bucket edges of the ``service.batch.size`` histogram.
+BATCH_SIZE_BOUNDS: Tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64)
+
+#: Queue waits shorter than this don't earn a span (scheduler noise).
+_QUEUE_WAIT_SPAN_FLOOR_S = 0.005
+
 
 @dataclass(frozen=True)
 class AttemptRecord:
@@ -77,7 +118,8 @@ class AttemptRecord:
       number within it;
     * ``worker_pid`` — the subprocess that ran it (None for sheds);
     * ``outcome`` — ``ok`` / ``crash`` / ``timeout`` / ``oom`` /
-      ``budget_exceeded`` / ``error`` / ``shed`` / ``cancelled``;
+      ``budget_exceeded`` / ``error`` / ``shed`` / ``cancelled`` /
+      ``crash_loop``;
     * ``error_type`` / ``error`` — structured failure identity and
       message (empty on success);
     * ``backoff_s`` — the backoff delay scheduled *after* this attempt
@@ -126,6 +168,11 @@ class ServiceResult:
     When the parent's tracer was enabled for the query, ``profile``
     is a :class:`~repro.telemetry.QueryProfile` built from the
     answering worker's span tree (compile/solve/kernel timings).
+
+    Warm-dispatch observability: ``cache_hit`` is True/False when the
+    worker consulted its model cache (None when the spec opted out),
+    and ``batch_size`` is how many specs shared the answering
+    submission's round-trip.
     """
 
     answer: Any
@@ -140,6 +187,8 @@ class ServiceResult:
     agreed: Optional[bool] = None
     answers: Optional[Dict[str, Any]] = None
     profile: Optional[QueryProfile] = None
+    cache_hit: Optional[bool] = None
+    batch_size: int = 1
 
     @property
     def retried(self) -> bool:
@@ -226,7 +275,8 @@ class _Task:
         "ladder",
         "ladder_pos",
         "attempt",
-        "seq",
+        "ref_key",
+        "sticky_index",
         "ready_at",
         "deadline",
         "submitted_at",
@@ -239,15 +289,26 @@ class _Task:
         "error",
         "group",
         "done",
+        "future",
+        "trace_parent",
+        "batch_size",
     )
 
-    def __init__(self, index: int, spec: QuerySpec, ladder: Sequence[str]):
+    def __init__(
+        self,
+        index: int,
+        spec: QuerySpec,
+        ladder: Sequence[str],
+        ref_key: str,
+        sticky_index: int,
+    ):
         self.index = index
         self.spec = spec
         self.ladder = list(ladder)
         self.ladder_pos = 0
         self.attempt = 0  # retries used on the current rung
-        self.seq = -1
+        self.ref_key = ref_key
+        self.sticky_index = sticky_index
         self.ready_at = 0.0
         self.deadline: Optional[float] = None
         self.submitted_at = 0.0
@@ -260,6 +321,9 @@ class _Task:
         self.error: Optional[ZenServiceError] = None
         self.group: Optional[Dict[str, Any]] = None
         self.done = False
+        self.future: "Future[ServiceResult]" = Future()
+        self.trace_parent: Optional[Span] = None
+        self.batch_size = 1
 
     @property
     def backend(self) -> str:
@@ -272,6 +336,32 @@ class _Task:
         self.done = True
 
 
+class _Batch:
+    """One in-flight submission: N tasks sharing a worker round-trip.
+
+    The worker executes the specs in order and streams one reply per
+    spec; ``next_index`` is the spec currently executing, and
+    ``deadline`` is re-armed from that spec's timeout each time a
+    reply lands.
+    """
+
+    __slots__ = ("seq", "tasks", "next_index", "deadline")
+
+    def __init__(self, seq: int, tasks: List[_Task]):
+        self.seq = seq
+        self.tasks = tasks
+        self.next_index = 0
+        self.deadline: Optional[float] = None
+
+    @property
+    def current(self) -> _Task:
+        return self.tasks[self.next_index]
+
+    @property
+    def exhausted(self) -> bool:
+        return self.next_index >= len(self.tasks)
+
+
 class QueryEngine:
     """A pool of subprocess workers executing verification queries.
 
@@ -279,6 +369,7 @@ class QueryEngine:
 
         with QueryEngine(pool_size=4) as engine:
             result = engine.run(QuerySpec(builder="mymodels:acl_model"))
+            future = engine.submit(QuerySpec(builder="mymodels:acl_model"))
             oracle = engine.run_differential(
                 QuerySpec(builder="mymodels:acl_model")
             )
@@ -299,6 +390,9 @@ class QueryEngine:
         backends: Sequence[str] = ("sat", "bdd"),
         start_method: Optional[str] = None,
         seed: int = 0,
+        max_batch_size: int = 8,
+        crash_loop_threshold: int = 3,
+        cache_capacity: int = 32,
         clock: Callable[[], float] = time.monotonic,
         sleep: Callable[[float], None] = time.sleep,
     ):
@@ -308,6 +402,19 @@ class QueryEngine:
             raise ZenTypeError(f"retries must be >= 0, got {retries!r}")
         if not backends:
             raise ZenTypeError("QueryEngine needs at least one backend")
+        if max_batch_size < 1:
+            raise ZenTypeError(
+                f"max_batch_size must be >= 1, got {max_batch_size!r}"
+            )
+        if crash_loop_threshold < 0:
+            raise ZenTypeError(
+                "crash_loop_threshold must be >= 0 (0 disables), got "
+                f"{crash_loop_threshold!r}"
+            )
+        if cache_capacity < 1:
+            raise ZenTypeError(
+                f"cache_capacity must be >= 1, got {cache_capacity!r}"
+            )
         if start_method is None:
             # fork shares the parent's imported modules (cheap spawn,
             # builder refs always resolve); spawn is the portable
@@ -322,13 +429,19 @@ class QueryEngine:
         self.jitter_s = jitter_s
         self.default_timeout_s = default_timeout_s
         self.backends = tuple(backends)
+        self.max_batch_size = max_batch_size
+        self.crash_loop_threshold = crash_loop_threshold
+        self.cache_capacity = cache_capacity
         self._clock = clock
         self._sleep = sleep
         self._rng = random.Random(seed)
         self._seq = 0
         self._closed = False
         self._ctx = get_context(start_method)
-        config = {"sys_path": list(sys.path)}
+        config = {
+            "sys_path": list(sys.path),
+            "cache_capacity": cache_capacity,
+        }
         self._workers = [
             _WorkerHandle(self._ctx, config, i) for i in range(pool_size)
         ]
@@ -341,6 +454,24 @@ class QueryEngine:
             )
             for name in self.backends
         }
+        # -- dispatcher plumbing ----------------------------------------
+        self._commands: "deque[Tuple[Any, ...]]" = deque()
+        self._cmd_lock = threading.Lock()
+        self._dispatcher_lock = threading.Lock()
+        self._dispatcher: Optional[threading.Thread] = None
+        self._wakeup_r, self._wakeup_w = os.pipe()
+        # -- warm-dispatch state ----------------------------------------
+        self._epoch = 0
+        self._crash_counts: Dict[str, int] = {}
+        self._cache_agg = {"hit": 0, "miss": 0, "evict": 0}
+        self._worker_cache_snapshots: Dict[int, Dict[str, float]] = {}
+        self._batches = 0
+        self._batched_tasks = 0
+        self._sticky_hits = 0
+        self._steals = 0
+        self._batch_hist = METRICS.histogram(
+            "service.batch.size", BATCH_SIZE_BOUNDS
+        )
 
     # -- lifecycle -------------------------------------------------------
 
@@ -351,12 +482,25 @@ class QueryEngine:
         self.close()
 
     def close(self) -> None:
-        """Stop every worker (sentinel, then SIGKILL stragglers)."""
+        """Stop dispatcher and workers (sentinel, then SIGKILL)."""
         if self._closed:
             return
         self._closed = True
+        dispatcher = self._dispatcher
+        if dispatcher is not None and dispatcher.is_alive():
+            with self._cmd_lock:
+                self._commands.append(("stop",))
+            self._wake()
+            dispatcher.join(timeout=10.0)
         for handle in self._workers:
             handle.shutdown()
+        for fd in (self._wakeup_r, self._wakeup_w):
+            if fd >= 0:
+                try:
+                    os.close(fd)
+                except OSError:
+                    pass
+        self._wakeup_r = self._wakeup_w = -1
 
     def __del__(self):  # pragma: no cover - GC-order dependent
         try:
@@ -382,6 +526,58 @@ class QueryEngine:
     def total_restarts(self) -> int:
         """Worker respawns performed since the engine started."""
         return sum(max(0, handle.restarts) for handle in self._workers)
+
+    def cache_stats(self) -> Dict[str, Any]:
+        """Aggregated warm-cache effectiveness across worker replies.
+
+        ``hit``/``miss``/``evict`` are totals observed on successful
+        replies; ``hit_rate`` is hits / lookups (0.0 before any
+        lookup); ``epoch`` is the engine's current invalidation epoch;
+        ``workers`` maps pool index → last cache snapshot seen from
+        that worker.
+        """
+        lookups = self._cache_agg["hit"] + self._cache_agg["miss"]
+        return {
+            "hit": self._cache_agg["hit"],
+            "miss": self._cache_agg["miss"],
+            "evict": self._cache_agg["evict"],
+            "hit_rate": (
+                self._cache_agg["hit"] / lookups if lookups else 0.0
+            ),
+            "epoch": self._epoch,
+            "workers": dict(self._worker_cache_snapshots),
+        }
+
+    def dispatch_stats(self) -> Dict[str, Any]:
+        """Batching and sticky-routing effectiveness counters."""
+        return {
+            "batches": self._batches,
+            "batched_tasks": self._batched_tasks,
+            "mean_batch_size": (
+                self._batched_tasks / self._batches if self._batches else 0.0
+            ),
+            "sticky_hits": self._sticky_hits,
+            "steals": self._steals,
+            "max_batch_size": self.max_batch_size,
+            "crash_loops": dict(self._crash_counts),
+        }
+
+    def invalidate_cache(self) -> int:
+        """Advance the cache epoch, flushing every worker's warm cache.
+
+        Idle workers get an explicit ``("epoch", n)`` control message;
+        busy workers pick the epoch up from their next batch header.
+        Returns the new epoch.
+        """
+        self._check_open()
+        with self._cmd_lock:
+            self._epoch += 1
+            epoch = self._epoch
+            dispatcher = self._dispatcher
+            if dispatcher is not None and dispatcher.is_alive():
+                self._commands.append(("epoch", epoch))
+        self._wake()
+        return epoch
 
     # -- public API ------------------------------------------------------
 
@@ -411,14 +607,82 @@ class QueryEngine:
         """
         self._check_open()
         tasks = [
-            _Task(i, spec, self._ladder(spec, fallback))
+            self._make_task(i, spec, self._ladder(spec, fallback))
             for i, spec in enumerate(specs)
         ]
-        with span("service.run_many", queries=len(specs)):
-            self._execute(tasks)
+        with span("service.run_many", queries=len(specs)) as sp:
+            self._attach_trace(tasks, sp)
+            self._enqueue(tasks)
+            wait_futures([t.future for t in tasks])
         out: List[Union[ServiceResult, ZenServiceError]] = []
         for task in tasks:
             out.append(task.result if task.result is not None else task.error)
+        return out
+
+    def submit(
+        self, spec: QuerySpec, *, fallback: bool = True
+    ) -> "Future[ServiceResult]":
+        """Enqueue one query and return its future immediately.
+
+        The future resolves to a :class:`ServiceResult` or raises the
+        query's structured :class:`~repro.errors.ZenServiceError`.
+        Futures compose with :meth:`gather` (blocking) or
+        ``asyncio.wrap_future`` (see :meth:`run_async`), so one
+        process can keep thousands of queries in flight against the
+        pool without blocking per batch.
+        """
+        self._check_open()
+        task = self._make_task(0, spec, self._ladder(spec, fallback))
+        if TRACER.enabled:
+            task.trace_parent = TRACER.current()
+        self._enqueue([task])
+        return task.future
+
+    def gather(
+        self, futures: Sequence["Future[ServiceResult]"]
+    ) -> List[Union[ServiceResult, ZenServiceError]]:
+        """Wait for :meth:`submit` futures; error objects, not raises.
+
+        Mirrors :meth:`run_many` semantics: one entry per future in
+        order, each a :class:`ServiceResult` or the structured error
+        the query failed with.
+        """
+        out: List[Union[ServiceResult, ZenServiceError]] = []
+        for future in futures:
+            try:
+                out.append(future.result())
+            except ZenServiceError as error:
+                out.append(error)
+        return out
+
+    async def run_async(
+        self, spec: QuerySpec, *, fallback: bool = True
+    ) -> ServiceResult:
+        """Await one query from an event loop (raises on failure)."""
+        import asyncio
+
+        return await asyncio.wrap_future(
+            self.submit(spec, fallback=fallback)
+        )
+
+    async def run_many_async(
+        self, specs: Sequence[QuerySpec], *, fallback: bool = True
+    ) -> List[Union[ServiceResult, ZenServiceError]]:
+        """Await a portfolio concurrently; error objects, not raises."""
+        import asyncio
+
+        futures = [
+            asyncio.wrap_future(self.submit(spec, fallback=fallback))
+            for spec in specs
+        ]
+        gathered = await asyncio.gather(*futures, return_exceptions=True)
+        out: List[Union[ServiceResult, ZenServiceError]] = []
+        for item in gathered:
+            if isinstance(item, BaseException) and not isinstance(
+                item, ZenServiceError
+            ):
+                raise item
+            out.append(item)
         return out
 
     def run_differential(
@@ -467,7 +731,7 @@ class QueryEngine:
                     f"kind={side.kind!r} for backend {name!r}"
                 )
         tasks = [
-            _Task(i, side, [name])
+            self._make_task(i, side, [name])
             for i, (name, side) in enumerate(sides.items())
         ]
         group = {"race": race, "tasks": tasks}
@@ -475,8 +739,10 @@ class QueryEngine:
             task.group = group
         with span(
             "service.run_differential", backends=list(sides), race=race
-        ):
-            self._execute(tasks)
+        ) as sp:
+            self._attach_trace(tasks, sp)
+            self._enqueue(tasks)
+            wait_futures([t.future for t in tasks])
 
         combined: Tuple[AttemptRecord, ...] = tuple(
             record for task in tasks for record in task.attempts
@@ -514,7 +780,7 @@ class QueryEngine:
             attempts=combined,
         )
 
-    # -- scheduler -------------------------------------------------------
+    # -- task construction & dispatch hand-off ---------------------------
 
     def _check_open(self) -> None:
         if self._closed:
@@ -527,100 +793,295 @@ class QueryEngine:
         ladder.extend(b for b in self.backends if b != spec.backend)
         return ladder
 
-    def _backoff_delay(self, attempt: int) -> float:
-        base = self.backoff_base_s * (self.backoff_factor ** (attempt - 1))
-        return min(self.backoff_max_s, base) + self._rng.uniform(
-            0.0, self.jitter_s
-        )
+    def _make_task(
+        self, index: int, spec: QuerySpec, ladder: Sequence[str]
+    ) -> _Task:
+        ref_key = ref_cache_key(spec)
+        sticky = zlib.crc32(ref_key.encode("utf-8")) % self.pool_size
+        return _Task(index, spec, ladder, ref_key, sticky)
 
-    def _execute(self, tasks: List[_Task]) -> None:
-        pending: List[_Task] = list(tasks)
-        inflight: Dict[_WorkerHandle, _Task] = {}
-        enqueue_time = self._clock()
+    @staticmethod
+    def _attach_trace(tasks: Sequence[_Task], sp: Any) -> None:
+        """Pin the caller's open span as each task's adoption parent.
+
+        The dispatcher thread has no span stack of its own; worker
+        span trees and retroactive attempt spans must attach to the
+        *submitting* thread's ``service.run_many`` /
+        ``service.run_differential`` span, which stays open until all
+        futures resolve.
+        """
+        parent = sp if isinstance(sp, Span) else None
         for task in tasks:
-            task.enqueued_at = enqueue_time
+            task.trace_parent = parent
+
+    def _enqueue(self, tasks: Sequence[_Task]) -> None:
+        self._ensure_dispatcher()
+        with self._cmd_lock:
+            self._commands.append(("tasks", list(tasks)))
+        self._wake()
+
+    def _ensure_dispatcher(self) -> None:
+        with self._dispatcher_lock:
+            if self._dispatcher is not None and self._dispatcher.is_alive():
+                return
+            thread = threading.Thread(
+                target=self._dispatch_loop,
+                name="repro-service-dispatcher",
+                daemon=True,
+            )
+            self._dispatcher = thread
+            thread.start()
+
+    def _wake(self) -> None:
+        fd = self._wakeup_w
+        if fd < 0:
+            return
         try:
-            while not all(task.done for task in tasks):
+            os.write(fd, b"x")
+        except OSError:  # pragma: no cover - closed during shutdown
+            pass
+
+    def _drain_wakeup(self) -> None:
+        fd = self._wakeup_r
+        if fd < 0:
+            return
+        try:
+            while True:
+                readable, _, _ = select.select([fd], [], [], 0)
+                if not readable:
+                    return
+                if not os.read(fd, 4096):
+                    return
+        except OSError:  # pragma: no cover - closed during shutdown
+            return
+
+    # -- dispatcher ------------------------------------------------------
+
+    def _dispatch_loop(self) -> None:
+        """The persistent scheduler: owns the pool until told to stop."""
+        pending: List[_Task] = []
+        inflight: Dict[_WorkerHandle, _Batch] = {}
+        try:
+            while True:
+                if self._drain_commands(pending, inflight):
+                    self._shutdown_dispatch(pending, inflight)
+                    return
                 now = self._clock()
-                self._fill_idle_workers(pending, inflight, now)
-                if all(task.done for task in tasks):
-                    break
-                if not inflight:
-                    waits = [t.ready_at for t in pending if not t.done]
-                    if not waits:  # pragma: no cover - defensive
-                        break
-                    self._sleep(max(min(waits) - now, 0.001))
-                    continue
-                self._wait_and_collect(pending, inflight)
+                self._fill_workers(pending, inflight, now)
+                timeout = self._wait_timeout(pending, inflight, self._clock())
+                waitables: List[Any] = [
+                    h.conn for h in inflight if h.conn is not None
+                ]
+                if self._wakeup_r >= 0:
+                    waitables.append(self._wakeup_r)
+                try:
+                    ready = connection.wait(waitables, timeout=timeout)
+                except OSError:  # pragma: no cover - fd churn race
+                    ready = []
+                if self._wakeup_r in ready:
+                    self._drain_wakeup()
+                self._collect_replies(ready, pending, inflight)
                 self._enforce_deadlines(pending, inflight)
                 self._cancel_raced(pending, inflight)
-        finally:
-            # Never leave an orphaned in-flight query running (e.g. an
-            # exception such as ZenBackendDisagreement raised upward).
-            for handle in list(inflight):
-                handle.kill()
+        except Exception as error:  # pragma: no cover - defensive
+            failure = ZenServiceError(
+                f"dispatcher thread failed: {type(error).__name__}: {error}"
+            )
+            self._shutdown_dispatch(pending, inflight, failure)
 
-    def _fill_idle_workers(self, pending, inflight, now) -> None:
-        for handle in self._workers:
-            if handle in inflight:
+    def _drain_commands(self, pending, inflight) -> bool:
+        stop = False
+        while True:
+            with self._cmd_lock:
+                if not self._commands:
+                    break
+                command = self._commands.popleft()
+            kind = command[0]
+            if kind == "tasks":
+                now = self._clock()
+                for task in command[1]:
+                    task.enqueued_at = now
+                    pending.append(task)
+            elif kind == "epoch":
+                epoch = command[1]
+                for handle in self._workers:
+                    if handle.conn is None or not handle.alive:
+                        continue
+                    try:
+                        handle.conn.send(("epoch", epoch))
+                    except (OSError, ValueError):
+                        handle.kill()
+            elif kind == "stop":
+                stop = True
+        return stop
+
+    def _shutdown_dispatch(
+        self, pending, inflight, error: Optional[ZenServiceError] = None
+    ) -> None:
+        failure = error or ZenServiceError("QueryEngine is closed")
+        now = self._clock()
+        for handle, batch in list(inflight.items()):
+            handle.kill()
+            for task in batch.tasks[batch.next_index:]:
+                self._fail_now(task, failure, now)
+        inflight.clear()
+        for task in pending:
+            self._fail_now(task, failure, now)
+        pending.clear()
+
+    def _fail_now(
+        self, task: _Task, error: ZenServiceError, now: float
+    ) -> None:
+        if task.done:
+            return
+        task.error = error
+        task.finish(now)
+        try:
+            task.future.set_exception(error)
+        except Exception:  # pragma: no cover - already resolved
+            pass
+
+    def _wait_timeout(self, pending, inflight, now) -> Optional[float]:
+        timeouts: List[float] = []
+        for batch in inflight.values():
+            if batch.deadline is not None:
+                timeouts.append(batch.deadline - now)
+        ready_pending = False
+        for task in pending:
+            if task.done:
                 continue
-            # A launch can finish a task without occupying the worker
-            # (ladder exhausted, all rungs shed): keep feeding this
-            # handle until it is busy or nothing is ready.
-            while handle not in inflight:
-                task = self._next_ready(pending, now)
-                if task is None:
-                    return
-                pending.remove(task)
-                self._launch(task, handle, pending, inflight, now)
+            if task.ready_at > now:
+                timeouts.append(task.ready_at - now)
+            else:
+                ready_pending = True
+        if timeouts:
+            return max(0.0, min(timeouts))
+        if ready_pending and not inflight:
+            # Defensive: ready work but nothing launched and nothing to
+            # wait for should not happen; poll rather than wedge.
+            return 0.05
+        return None
 
-    def _next_ready(self, pending, now) -> Optional[_Task]:
+    # -- worker filling (sticky + batching) ------------------------------
+
+    def _fill_workers(self, pending, inflight, now) -> None:
+        """Assign ready tasks to idle workers until a fixpoint.
+
+        Multiple passes: a worker going busy in one pass legitimizes
+        steals (tasks sticky to it become stealable) in the next.
+        """
+        progress = True
+        while progress and pending:
+            progress = False
+            for handle in self._workers:
+                if handle in inflight:
+                    continue
+                chosen = self._select_batch(handle, pending, inflight, now)
+                if not chosen:
+                    continue
+                progress = True
+                if not self._launch_batch(handle, chosen, inflight, now):
+                    # Broken pipe: the worker was killed; requeue and
+                    # let the next pass resubmit to the respawn.
+                    for task, _ in chosen:
+                        pending.append(task)
+
+    def _select_batch(
+        self, handle, pending, inflight, now
+    ) -> List[Tuple[_Task, str]]:
+        """Pick up to ``max_batch_size`` ready tasks for this worker.
+
+        Sticky rule: a worker takes its own tasks freely but steals a
+        foreign task only when that task's sticky worker is busy —
+        otherwise the warm worker gets first refusal on its ref.
+        Race-group siblings never share a batch (they must run in
+        parallel workers).
+        """
+        chosen: List[Tuple[_Task, str]] = []
+        groups: set = set()
         for task in list(pending):
+            if len(chosen) >= self.max_batch_size:
+                break
             if task.done:
                 pending.remove(task)
                 continue
-            if task.ready_at <= now:
-                return task
-        return None
+            if task.ready_at > now:
+                continue
+            if task.group is not None and id(task.group) in groups:
+                continue
+            if task.sticky_index != handle.index:
+                sticky_handle = self._workers[task.sticky_index]
+                if sticky_handle not in inflight:
+                    continue
+            backend = self._resolve_rung(task, now)
+            pending.remove(task)
+            if backend is None:
+                continue  # finished in place (shed-out or crash loop)
+            chosen.append((task, backend))
+            if task.group is not None:
+                groups.add(id(task.group))
+        return chosen
 
-    def _launch(self, task, handle, pending, inflight, now) -> None:
-        """Submit `task` to `handle`, advancing past shed rungs.
-
-        Finishes the task in place when its ladder is exhausted.
-        """
+    def _resolve_rung(self, task: _Task, now: float) -> Optional[str]:
+        """Advance the task past shed rungs; None = finished in place."""
+        count = self._crash_counts.get(task.ref_key, 0)
+        if self.crash_loop_threshold and count >= self.crash_loop_threshold:
+            task.attempts.append(
+                AttemptRecord(
+                    backend=task.backend,
+                    attempt=task.attempt + 1,
+                    worker_pid=None,
+                    outcome="crash_loop",
+                    error_type="ZenCrashLoop",
+                    error=(
+                        f"builder {task.ref_key!r} killed {count} workers; "
+                        "crash-loop suppression is refusing further "
+                        "attempts until it succeeds elsewhere"
+                    ),
+                )
+            )
+            self._finish_failure(task, now)
+            return None
         while True:
             if task.ladder_pos >= len(task.ladder):
                 self._finish_failure(task, now)
-                return
+                return None
             backend = task.backend
             breaker = self._breakers.setdefault(
                 backend,
                 CircuitBreaker(clock=self._clock, name=backend),
             )
-            if not breaker.allow():
-                task.attempts.append(
-                    AttemptRecord(
-                        backend=backend,
-                        attempt=task.attempt + 1,
-                        worker_pid=None,
-                        outcome="shed",
-                        error_type="ZenCircuitOpen",
-                        error=f"circuit open for backend {backend!r}",
-                        breaker_state=breaker.state,
-                    )
+            if breaker.allow():
+                return backend
+            task.attempts.append(
+                AttemptRecord(
+                    backend=backend,
+                    attempt=task.attempt + 1,
+                    worker_pid=None,
+                    outcome="shed",
+                    error_type="ZenCircuitOpen",
+                    error=f"circuit open for backend {backend!r}",
+                    breaker_state=breaker.state,
                 )
-                task.ladder_pos += 1
-                task.attempt = 0
-                continue
-            handle.ensure()
+            )
+            task.ladder_pos += 1
+            task.attempt = 0
+
+    def _launch_batch(self, handle, chosen, inflight, now) -> bool:
+        """Ship one batch to a worker; False on a broken pipe."""
+        handle.ensure()
+        specs = []
+        for task, backend in chosen:
             spec = task.spec.with_backend(backend)
             if TRACER.enabled:
                 # Parent is profiling: have the worker trace this
                 # execution and ship its span tree back in the reply.
                 spec = spec.with_trace(True)
-            self._seq += 1
-            task.seq = self._seq
-            task.submitted_at = now
+            specs.append(spec)
+        self._seq += 1
+        batch = _Batch(self._seq, [task for task, _ in chosen])
+        size = len(chosen)
+        for task, _ in chosen:
             # Queue wait: time between becoming eligible (enqueue, or
             # the end of the previous attempt's backoff) and now.
             task.queue_wait_s = max(
@@ -628,135 +1089,120 @@ class QueryEngine:
             )
             if task.started_at is None:
                 task.started_at = now
-            timeout = (
-                spec.timeout_s
-                if spec.timeout_s is not None
-                else self.default_timeout_s
-            )
-            task.deadline = None if timeout is None else now + timeout
-            try:
-                handle.conn.send((task.seq, spec))
-            except (OSError, ValueError):
-                handle.kill()  # broken pipe: respawn and retry the send
-                continue
-            inflight[handle] = task
-            return
+            task.submitted_at = now
+            task.batch_size = size
+            if task.sticky_index == handle.index:
+                self._sticky_hits += 1
+            else:
+                self._steals += 1
+            if (
+                TRACER.enabled
+                and task.queue_wait_s >= _QUEUE_WAIT_SPAN_FLOOR_S
+            ):
+                TRACER.record(
+                    "service.queue_wait",
+                    TRACER.now_wall() - task.queue_wait_s,
+                    task.queue_wait_s,
+                    {
+                        "backend": task.backend,
+                        "label": task.spec.label,
+                        "batch_size": size,
+                    },
+                    parent=task.trace_parent,
+                )
+        first = batch.current
+        timeout = self._timeout_for(first.spec)
+        batch.deadline = None if timeout is None else now + timeout
+        try:
+            handle.conn.send(("batch", batch.seq, self._epoch, tuple(specs)))
+        except (OSError, ValueError):
+            handle.kill()
+            return False
+        inflight[handle] = batch
+        self._batches += 1
+        self._batched_tasks += size
+        self._batch_hist.observe(size)
+        return True
 
-    def _wait_and_collect(self, pending, inflight) -> None:
-        now = self._clock()
-        timeouts = [
-            task.deadline - now
-            for task in inflight.values()
-            if task.deadline is not None
-        ]
-        # Tasks already ready but queued behind busy workers must not
-        # turn the wait into a spin: only *future* wakeups count.
-        timeouts.extend(
-            task.ready_at - now
-            for task in pending
-            if not task.done and task.ready_at > now
+    def _timeout_for(self, spec: QuerySpec) -> Optional[float]:
+        return (
+            spec.timeout_s
+            if spec.timeout_s is not None
+            else self.default_timeout_s
         )
-        timeout = max(0.0, min(timeouts)) if timeouts else None
-        ready = connection.wait(
-            [h.conn for h in inflight], timeout=timeout
-        )
-        now = self._clock()
+
+    # -- reply collection ------------------------------------------------
+
+    def _collect_replies(self, ready, pending, inflight) -> None:
         by_conn = {h.conn: h for h in inflight}
         for conn in ready:
             handle = by_conn.get(conn)
-            if handle is None or handle not in inflight:
+            if handle is None:
                 continue
-            task = inflight[handle]
-            try:
-                message = handle.conn.recv()
-            except (EOFError, OSError):
-                self._on_worker_death(task, handle, pending, inflight, now)
-                continue
-            try:
-                seq, status, info = message
-            except (TypeError, ValueError):
-                self._on_worker_death(task, handle, pending, inflight, now)
-                continue
-            if seq != task.seq:
-                continue  # stale reply from a pre-kill submission
-            self._on_reply(task, handle, status, info, pending, inflight, now)
-
-    def _enforce_deadlines(self, pending, inflight) -> None:
-        now = self._clock()
-        for handle, task in list(inflight.items()):
-            if task.deadline is None or now < task.deadline:
-                continue
-            del inflight[handle]
-            pid = handle.pid
-            handle.kill()
-            timeout = (
-                task.spec.timeout_s
-                if task.spec.timeout_s is not None
-                else self.default_timeout_s
-            )
-            self._record_failure(
-                task,
-                outcome="timeout",
-                error_type="ZenQueryTimeout",
-                message=(
-                    f"hard deadline of {timeout}s exceeded; worker pid "
-                    f"{pid} killed"
-                ),
-                pid=pid,
-                pending=pending,
-                now=now,
-                retryable=True,
-            )
-
-    def _cancel_raced(self, pending, inflight) -> None:
-        """In race mode, cancel siblings once one task has an answer."""
-        winners = [
-            task
-            for task in list(inflight.values()) + pending
-            if task.group is not None and task.group.get("race")
-        ]
-        if not winners:
-            return
-        now = self._clock()
-        groups = {id(t.group): t.group for t in winners}
-        for group in groups.values():
-            if not any(t.result is not None for t in group["tasks"]):
-                continue
-            for task in group["tasks"]:
-                if task.done:
-                    continue
-                for handle, running in list(inflight.items()):
-                    if running is task:
-                        del inflight[handle]
-                        handle.kill()
-                if task in pending:
-                    pending.remove(task)
-                task.attempts.append(
-                    AttemptRecord(
-                        backend=task.backend,
-                        attempt=task.attempt + 1,
-                        worker_pid=None,
-                        outcome="cancelled",
-                        error="cancelled: sibling answered first (race mode)",
+            while handle in inflight and handle.conn is not None:
+                try:
+                    if not handle.conn.poll():
+                        break
+                    message = handle.conn.recv()
+                except (EOFError, OSError):
+                    self._on_worker_death(
+                        handle, pending, inflight, self._clock()
                     )
+                    break
+                try:
+                    seq, index, status, info = message
+                except (TypeError, ValueError):
+                    self._on_worker_death(
+                        handle, pending, inflight, self._clock()
+                    )
+                    break
+                batch = inflight.get(handle)
+                if (
+                    batch is None
+                    or seq != batch.seq
+                    or index != batch.next_index
+                ):
+                    continue  # stale reply from a pre-kill submission
+                self._on_reply(
+                    batch, handle, status, info, pending, inflight,
+                    self._clock(),
                 )
-                task.error = ZenQueryFailed(
-                    "cancelled: sibling answered first (race mode)",
-                    attempts=task.attempts,
-                    label=task.spec.label,
-                )
-                task.finish(now)
 
-    # -- outcome handling ------------------------------------------------
+    def _advance_batch(self, batch, handle, inflight, now) -> None:
+        batch.next_index += 1
+        if batch.exhausted:
+            del inflight[handle]
+            return
+        nxt = batch.current
+        nxt.submitted_at = now
+        timeout = self._timeout_for(nxt.spec)
+        batch.deadline = None if timeout is None else now + timeout
 
-    def _on_reply(self, task, handle, status, info, pending, inflight, now):
-        del inflight[handle]
+    def _requeue_rest(self, batch, pending, now) -> None:
+        """Return a dead batch's not-yet-run tasks to the queue, uncharged."""
+        for task in batch.tasks[batch.next_index + 1:]:
+            if task.done:
+                continue
+            task.ready_at = now
+            pending.append(task)
+
+    def _on_reply(
+        self, batch, handle, status, info, pending, inflight, now
+    ) -> None:
+        task = batch.current
+        if task.done:
+            # Cancelled (race sibling) while queued in this batch; the
+            # worker ran it anyway — discard, keep the batch moving.
+            self._advance_batch(batch, handle, inflight, now)
+            return
         backend = task.backend
         breaker = self._breakers[backend]
-        elapsed = now - task.submitted_at
+        elapsed = float(info.get("elapsed_s", now - task.submitted_at))
         pid = handle.pid
         if status == "ok":
             breaker.record_success()
+            self._crash_counts.pop(task.ref_key, None)
+            self._absorb_cache_info(handle, info)
             task.attempts.append(
                 AttemptRecord(
                     backend=backend,
@@ -775,7 +1221,7 @@ class QueryEngine:
                 # (the foreign pid keeps it on its own track) and
                 # condense it into the result's profile.
                 for tree in worker_spans:
-                    TRACER.adopt(tree)
+                    TRACER.adopt(tree, parent=task.trace_parent)
                 profile = profile_from_spans(
                     worker_spans,
                     query=f"query.{task.spec.kind}",
@@ -793,13 +1239,23 @@ class QueryEngine:
                 stats=dict(info.get("stats", {})),
                 elapsed_s=now - (task.started_at or now),
                 profile=profile,
+                cache_hit=info.get("cache_hit"),
+                batch_size=task.batch_size,
             )
             task.finish(now)
+            try:
+                task.future.set_result(task.result)
+            except Exception:  # pragma: no cover - already resolved
+                pass
+            self._advance_batch(batch, handle, inflight, now)
             return
         if status == "oom":
             # Even a survived MemoryError leaves allocator state
-            # suspect: recycle the worker before its next task.
+            # suspect: recycle the worker before its next task.  The
+            # rest of the batch is requeued uncharged.
+            del inflight[handle]
             handle.kill()
+            self._requeue_rest(batch, pending, now)
             self._record_failure(
                 task,
                 outcome="oom",
@@ -813,9 +1269,12 @@ class QueryEngine:
                 pending=pending,
                 now=now,
                 retryable=True,
+                elapsed=elapsed,
             )
             return
-        # status == "error": structured exception from the worker.
+        # status == "error": structured exception from the worker.  The
+        # worker already contained it — it keeps its process (and warm
+        # cache) and moves on to the next batched spec.
         error_type = info.get("type", "")
         message = info.get("message", "")
         if error_type in _CONFIG_ERRORS:
@@ -839,6 +1298,11 @@ class QueryEngine:
                 label=task.spec.label,
             )
             task.finish(now)
+            try:
+                task.future.set_exception(task.error)
+            except Exception:  # pragma: no cover - already resolved
+                pass
+            self._advance_batch(batch, handle, inflight, now)
             return
         outcome = (
             "budget_exceeded"
@@ -858,15 +1322,114 @@ class QueryEngine:
             retryable=False,
             elapsed=elapsed,
         )
+        self._advance_batch(batch, handle, inflight, now)
 
-    def _on_worker_death(self, task, handle, pending, inflight, now):
-        del inflight[handle]
+    def _absorb_cache_info(self, handle, info) -> None:
+        hit = info.get("cache_hit")
+        if hit is not None:
+            key = "hit" if hit else "miss"
+            self._cache_agg[key] += 1
+            METRICS.counter(f"service.cache.{key}").inc()
+        evicted = info.get("cache_evicted", 0)
+        if evicted:
+            self._cache_agg["evict"] += evicted
+            METRICS.counter("service.cache.evict").inc(evicted)
+        snapshot = info.get("cache_stats")
+        if snapshot:
+            self._worker_cache_snapshots[handle.index] = snapshot
+
+    def _enforce_deadlines(self, pending, inflight) -> None:
+        now = self._clock()
+        for handle, batch in list(inflight.items()):
+            if batch.deadline is None or now < batch.deadline:
+                continue
+            del inflight[handle]
+            pid = handle.pid
+            handle.kill()
+            task = batch.current
+            self._requeue_rest(batch, pending, now)
+            if task.done:
+                continue  # cancelled task wedged the worker; no charge
+            timeout = self._timeout_for(task.spec)
+            self._record_failure(
+                task,
+                outcome="timeout",
+                error_type="ZenQueryTimeout",
+                message=(
+                    f"hard deadline of {timeout}s exceeded; worker pid "
+                    f"{pid} killed"
+                ),
+                pid=pid,
+                pending=pending,
+                now=now,
+                retryable=True,
+            )
+
+    def _cancel_raced(self, pending, inflight) -> None:
+        """In race mode, cancel siblings once one task has an answer."""
+        groups: Dict[int, Dict[str, Any]] = {}
+        for task in list(pending):
+            if task.group is not None and task.group.get("race"):
+                groups[id(task.group)] = task.group
+        for batch in inflight.values():
+            for task in batch.tasks:
+                if task.group is not None and task.group.get("race"):
+                    groups[id(task.group)] = task.group
+        if not groups:
+            return
+        now = self._clock()
+        for group in groups.values():
+            if not any(t.result is not None for t in group["tasks"]):
+                continue
+            for task in group["tasks"]:
+                if task.done:
+                    continue
+                for handle, batch in list(inflight.items()):
+                    if batch.current is task:
+                        del inflight[handle]
+                        handle.kill()
+                        self._requeue_rest(batch, pending, now)
+                if task in pending:
+                    pending.remove(task)
+                task.attempts.append(
+                    AttemptRecord(
+                        backend=task.backend,
+                        attempt=task.attempt + 1,
+                        worker_pid=None,
+                        outcome="cancelled",
+                        error="cancelled: sibling answered first (race mode)",
+                    )
+                )
+                task.error = ZenQueryFailed(
+                    "cancelled: sibling answered first (race mode)",
+                    attempts=task.attempts,
+                    label=task.spec.label,
+                )
+                task.finish(now)
+                try:
+                    task.future.set_exception(task.error)
+                except Exception:  # pragma: no cover - already resolved
+                    pass
+
+    # -- outcome handling ------------------------------------------------
+
+    def _on_worker_death(self, handle, pending, inflight, now) -> None:
+        batch = inflight.pop(handle, None)
         pid = handle.pid
         exitcode = handle.kill()
         if exitcode is not None and exitcode < 0:
             detail = f"killed by signal {-exitcode}"
         else:
             detail = f"exited with status {exitcode}"
+        if batch is None:
+            return
+        task = batch.current
+        self._requeue_rest(batch, pending, now)
+        if task.done:
+            return
+        self._crash_counts[task.ref_key] = (
+            self._crash_counts.get(task.ref_key, 0) + 1
+        )
         self._record_failure(
             task,
             outcome="crash",
@@ -876,6 +1439,12 @@ class QueryEngine:
             pending=pending,
             now=now,
             retryable=True,
+        )
+
+    def _backoff_delay(self, attempt: int) -> float:
+        base = self.backoff_base_s * (self.backoff_factor ** (attempt - 1))
+        return min(self.backoff_max_s, base) + self._rng.uniform(
+            0.0, self.jitter_s
         )
 
     def _record_failure(
@@ -933,12 +1502,14 @@ class QueryEngine:
                     "error_type": error_type,
                     "backoff_s": round(backoff, 4),
                 },
+                parent=task.trace_parent,
             )
-        pending.append(task)  # _launch finish-fails it if the ladder is done
+        pending.append(task)  # _resolve_rung finish-fails an exhausted ladder
 
     def _finish_failure(self, task, now) -> None:
-        executed = [a for a in task.attempts if a.outcome != "shed"]
-        if not executed and task.attempts:
+        if task.attempts and all(
+            a.outcome == "shed" for a in task.attempts
+        ):
             task.error = ZenCircuitOpen(
                 "every backend's circuit breaker is open; query "
                 f"{task.spec.label or task.spec.kind!r} shed without "
@@ -946,6 +1517,11 @@ class QueryEngine:
                 attempts=task.attempts,
             )
         else:
+            executed = [
+                a
+                for a in task.attempts
+                if a.outcome not in ("shed", "crash_loop")
+            ]
             summary = ", ".join(
                 f"{a.backend}#{a.attempt}:{a.outcome}" for a in task.attempts
             )
@@ -956,3 +1532,7 @@ class QueryEngine:
                 label=task.spec.label,
             )
         task.finish(now)
+        try:
+            task.future.set_exception(task.error)
+        except Exception:  # pragma: no cover - already resolved
+            pass

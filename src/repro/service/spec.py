@@ -27,6 +27,9 @@ from ..telemetry.spans import TRACER
 
 __all__ = ["QuerySpec", "resolve_ref", "run_spec"]
 
+if False:  # typing-only, avoids a runtime import cycle
+    from .cache import ModelCache
+
 #: Analyses a spec may request.  "call" runs an arbitrary picklable
 #: callable (used for baseline checks whose result is plain data).
 QUERY_KINDS = (
@@ -101,6 +104,10 @@ class QuerySpec:
       instrumentation) and ships the serialized span tree back in the
       result payload under ``"spans"``.  The engine sets this
       automatically when the parent's tracer is enabled.
+    * ``use_cache`` — when True (default) a worker may serve the
+      builder resolution from its warm
+      :class:`~repro.service.cache.ModelCache`; set False to force a
+      cold rebuild (differential cold-vs-warm checks).
     """
 
     builder: Any
@@ -118,6 +125,7 @@ class QuerySpec:
     rss_limit_bytes: Optional[int] = None
     label: str = ""
     trace: bool = False
+    use_cache: bool = True
 
     def __post_init__(self) -> None:
         if self.kind not in QUERY_KINDS:
@@ -156,13 +164,30 @@ class QuerySpec:
         return replace(self, trace=trace)
 
 
-def _build_function(spec: QuerySpec) -> ZenFunction:
-    return ZenFunction.from_ref(
-        spec.builder, *spec.builder_args, **spec.builder_kwargs
+def _build_function(
+    spec: QuerySpec, cache: Optional["ModelCache"]
+) -> Any:
+    """Resolve the spec's model, via the warm cache when allowed.
+
+    Returns ``(function, hit, entry)`` — ``hit`` is None when the
+    cache was not consulted, and ``entry`` is the live
+    :class:`~repro.service.cache.CacheEntry` (or None) so kinds with
+    compiled artifacts (transformers) can reuse them.
+    """
+    if cache is not None and spec.use_cache:
+        return cache.get_function(spec)
+    return (
+        ZenFunction.from_ref(
+            spec.builder, *spec.builder_args, **spec.builder_kwargs
+        ),
+        None,
+        None,
     )
 
 
-def run_spec(spec: QuerySpec) -> Dict[str, Any]:
+def run_spec(
+    spec: QuerySpec, cache: Optional["ModelCache"] = None
+) -> Dict[str, Any]:
     """Execute a spec in the current process.
 
     Returns a picklable payload: ``answer`` (the analysis result),
@@ -171,12 +196,15 @@ def run_spec(spec: QuerySpec) -> Dict[str, Any]:
     ``spec.trace`` the payload additionally carries ``"spans"`` — the
     serialized trace of this execution (rooted at a ``task.<kind>``
     span) — so a parent process can merge a worker's timeline into its
-    own.  Raises whatever the underlying
+    own.  With a ``cache`` (the worker's warm
+    :class:`~repro.service.cache.ModelCache`), builder resolution may
+    be served warm and the payload carries ``"cache_hit"``.  Raises
+    whatever the underlying
     analysis raises — the worker loop converts exceptions into
     structured replies.
     """
     if not spec.trace:
-        return _execute_spec(spec)
+        return _execute_spec(spec, cache)
     # A worker starts each task with a clean, disabled tracer; an
     # in-process caller may already be tracing, in which case the root
     # joins the caller's tree *and* is shipped in the payload.
@@ -191,7 +219,7 @@ def run_spec(spec: QuerySpec) -> Dict[str, Any]:
         {"label": spec.label, "backend": spec.backend},
     )
     try:
-        payload = _execute_spec(spec)
+        payload = _execute_spec(spec, cache)
     finally:
         TRACER.finish(root)
         if fresh:
@@ -200,7 +228,9 @@ def run_spec(spec: QuerySpec) -> Dict[str, Any]:
     return payload
 
 
-def _execute_spec(spec: QuerySpec) -> Dict[str, Any]:
+def _execute_spec(
+    spec: QuerySpec, cache: Optional["ModelCache"] = None
+) -> Dict[str, Any]:
     if spec.kind == "call":
         target = resolve_ref(spec.builder)
         if not callable(target):
@@ -212,7 +242,7 @@ def _execute_spec(spec: QuerySpec) -> Dict[str, Any]:
             target, "__name__", "<call>"
         )}
 
-    fn = _build_function(spec)
+    fn, cache_hit, entry = _build_function(spec, cache)
     meter = start_meter(spec.budget)
     predicate = resolve_ref(spec.predicate) if spec.predicate else None
 
@@ -241,10 +271,17 @@ def _execute_spec(spec: QuerySpec) -> Dict[str, Any]:
             budget=meter,
         )
     elif spec.kind == "transformer":
-        transformer = fn.transformer(budget=meter)
-        # Transformers hold BDD nodes of a process-local manager; the
-        # build itself is the crash/OOM-prone step worth isolating, so
-        # report a picklable summary rather than the object.
+        # Transformers hold BDD nodes of a process-local manager —
+        # exactly the compiled state the warm cache is for: the first
+        # build is the expensive, crash/OOM-prone step, repeats reuse
+        # the in-worker BDDs and only re-ship the picklable summary.
+        transformer = None
+        if entry is not None:
+            transformer = entry.artifacts.get("transformer")
+        if transformer is None:
+            transformer = fn.transformer(budget=meter)
+            if entry is not None:
+                entry.artifacts["transformer"] = transformer
         answer = {"built": True, "function": fn.name}
         nodes = getattr(
             getattr(transformer, "context", None), "manager", None
@@ -256,8 +293,11 @@ def _execute_spec(spec: QuerySpec) -> Dict[str, Any]:
     else:  # pragma: no cover - guarded by __post_init__
         raise ZenTypeError(f"unhandled kind {spec.kind!r}")
 
-    return {
+    payload: Dict[str, Any] = {
         "answer": answer,
         "stats": meter.stats() if meter is not None else {},
         "function": fn.name,
     }
+    if cache_hit is not None:
+        payload["cache_hit"] = cache_hit
+    return payload

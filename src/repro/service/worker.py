@@ -1,25 +1,45 @@
-"""Subprocess worker: the isolated executor of one query at a time.
+"""Subprocess worker: the isolated executor of query batches.
 
-The worker side is deliberately dumb: receive ``(seq, QuerySpec)``
-over a pipe, run it, send ``(seq, status, payload)`` back.  All policy
-(retries, backoff, breakers, hard-deadline kills) lives in the parent
-engine; all *enforcement that needs an address space of its own* lives
-here:
+The worker side is deliberately dumb: receive a batch of specs over a
+pipe, run them in order, stream one reply per spec back.  All policy
+(retries, backoff, breakers, hard-deadline kills, sticky routing)
+lives in the parent engine; all *state that needs an address space of
+its own* lives here:
 
+* **the warm model cache** — each worker keeps a process-global
+  :class:`~repro.service.cache.ModelCache` of resolved builder refs
+  and compiled artifacts, so repeated queries against the same model
+  skip the resolve/rebuild that dominates tiny solves.  The parent
+  piggybacks its cache epoch on every batch and may push an explicit
+  ``("epoch", n)`` control message; either flushes a stale cache, and
+  a respawned worker always starts cold at epoch 0;
 * **RSS cap** — before a task with ``rss_limit_bytes``, the worker
   lowers its ``RLIMIT_AS`` soft limit to (current VM size + cap), so a
   BDD blowup or runaway allocation raises MemoryError inside the
   worker instead of invoking the machine's OOM killer.  The limit is
   restored afterwards; an OOM reply tells the parent to recycle the
-  worker anyway (allocator state after a MemoryError is suspect).
-* **Crash containment** — ``os._exit``, aborts in native code, and
+  worker anyway (allocator state after a MemoryError is suspect);
+* **crash containment** — ``os._exit``, aborts in native code, and
   signal kills only take down this process; the parent observes EOF on
   the pipe and the exit status.
+
+Wire protocol (parent → worker):
+
+* ``("batch", seq, epoch, (spec, ...))`` — run the specs in order;
+* ``("epoch", epoch)`` — flush the model cache if ``epoch`` is newer;
+* ``None`` — shut down.
+
+Worker → parent: one ``(seq, index, status, info)`` tuple per spec,
+in submission order, so a single request round-trip carries N specs
+and streams N results back (the parent keeps per-spec hard deadlines
+by re-arming its kill timer as each reply lands).
 
 Replies are always plain picklable data.  Exceptions are flattened to
 ``{"type", "message", "reason", "stats"}`` dictionaries — shipping
 exception *objects* across the boundary would reintroduce arbitrary
-unpickling of solver state into the parent.
+unpickling of solver state into the parent.  Successful replies carry
+``cache_hit`` plus the cache's counter snapshot so the parent can
+aggregate hit rates without another round-trip.
 """
 
 from __future__ import annotations
@@ -27,10 +47,12 @@ from __future__ import annotations
 import gc
 import os
 import sys
+import time
 import traceback
 from typing import Any, Dict, Optional, Tuple
 
 from ..telemetry.spans import TRACER
+from .cache import ModelCache
 from .spec import QuerySpec, run_spec
 
 __all__ = ["worker_main", "execute_task", "describe_exception"]
@@ -41,6 +63,9 @@ except ImportError:  # pragma: no cover - non-POSIX platform
     resource = None  # type: ignore[assignment]
 
 _PAGE_SIZE = 4096
+
+#: Default capacity of a worker's warm model cache (entries, LRU).
+DEFAULT_CACHE_CAPACITY = 32
 
 
 def _current_vm_bytes() -> Optional[int]:
@@ -104,17 +129,24 @@ def describe_exception(error: BaseException) -> Dict[str, Any]:
     }
 
 
-def execute_task(spec: QuerySpec) -> Tuple[str, Dict[str, Any]]:
+def execute_task(
+    spec: QuerySpec, cache: Optional[ModelCache] = None
+) -> Tuple[str, Dict[str, Any]]:
     """Run one spec, translating every outcome to a (status, info) pair.
 
     Statuses: ``"ok"`` (info = run_spec payload), ``"oom"`` (the RSS
-    cap tripped), ``"error"`` (info = flattened exception).
+    cap tripped), ``"error"`` (info = flattened exception).  Every
+    info dict carries ``elapsed_s`` — the worker-side wall clock of
+    the attempt, free of pipe and scheduling skew.
     """
     previous = None
+    started = time.perf_counter()
     try:
         if spec.rss_limit_bytes is not None:
             previous = _install_rss_limit(spec.rss_limit_bytes)
-        return "ok", run_spec(spec)
+        info = run_spec(spec, cache)
+        info["elapsed_s"] = time.perf_counter() - started
+        return "ok", info
     except MemoryError as error:
         # Free headroom before building the reply: drop the limit
         # first, then collect whatever the unwound query left behind.
@@ -123,11 +155,41 @@ def execute_task(spec: QuerySpec) -> Tuple[str, Dict[str, Any]]:
         gc.collect()
         info = describe_exception(error)
         info["rss_limit_bytes"] = spec.rss_limit_bytes
+        info["elapsed_s"] = time.perf_counter() - started
         return "oom", info
     except BaseException as error:  # noqa: BLE001 - boundary translation
-        return "error", describe_exception(error)
+        info = describe_exception(error)
+        info["elapsed_s"] = time.perf_counter() - started
+        return "error", info
     finally:
         _restore_rss_limit(previous)
+
+
+def _send_reply(conn, seq: int, index: int, status: str, info) -> bool:
+    """Ship one reply; degrade unpicklable answers to a structured error."""
+    try:
+        conn.send((seq, index, status, info))
+        return True
+    except Exception:
+        try:
+            conn.send(
+                (
+                    seq,
+                    index,
+                    "error",
+                    {
+                        "type": "ZenServiceError",
+                        "message": "worker could not pickle the query "
+                        f"answer (pid {os.getpid()})",
+                        "reason": "unpicklable-answer",
+                        "stats": {},
+                        "traceback": "",
+                    },
+                )
+            )
+            return True
+        except Exception:
+            return False
 
 
 def worker_main(conn, config: Optional[Dict[str, Any]] = None) -> None:
@@ -147,6 +209,9 @@ def worker_main(conn, config: Optional[Dict[str, Any]] = None) -> None:
     # included.  Neither belongs to this worker's timeline: tracing is
     # re-enabled per task by run_spec when the spec asks for it.
     TRACER.hard_reset()
+    cache = ModelCache(
+        capacity=config.get("cache_capacity", DEFAULT_CACHE_CAPACITY)
+    )
     while True:
         try:
             message = conn.recv()
@@ -154,28 +219,19 @@ def worker_main(conn, config: Optional[Dict[str, Any]] = None) -> None:
             return
         if message is None:
             return
-        seq, spec = message
-        status, info = execute_task(spec)
-        reply = (seq, status, info)
-        try:
-            conn.send(reply)
-        except Exception:
-            # Unpicklable answer: degrade to a structured error so the
-            # parent is never left waiting on a half-sent reply.
-            try:
-                conn.send(
-                    (
-                        seq,
-                        "error",
-                        {
-                            "type": "ZenServiceError",
-                            "message": "worker could not pickle the query "
-                            f"answer (pid {os.getpid()})",
-                            "reason": "unpicklable-answer",
-                            "stats": {},
-                            "traceback": "",
-                        },
-                    )
-                )
-            except Exception:
+        kind = message[0]
+        if kind == "epoch":
+            cache.bump_epoch(message[1])
+            continue
+        if kind != "batch":  # pragma: no cover - protocol guard
+            continue
+        _, seq, epoch, specs = message
+        cache.bump_epoch(epoch)
+        for index, spec in enumerate(specs):
+            evictions_before = cache.evictions
+            status, info = execute_task(spec, cache)
+            if status == "ok":
+                info["cache_evicted"] = cache.evictions - evictions_before
+                info["cache_stats"] = cache.snapshot()
+            if not _send_reply(conn, seq, index, status, info):
                 return

@@ -322,13 +322,15 @@ class Tracer:
         duration_s: float,
         attrs: Optional[Dict[str, Any]] = None,
         children: Optional[List[Span]] = None,
+        parent: Optional[Span] = None,
     ) -> Span:
         """File an already-measured span (retroactive instrumentation).
 
         Used by schedulers that time work with their own clock and
         only afterwards know the outcome to annotate.  The span is
-        attached to the current open span on this thread, or becomes
-        a root.
+        attached to ``parent`` when given (e.g. a dispatcher thread
+        filing under the submitting thread's open span), else to the
+        current open span on this thread, else becomes a root.
         """
         done = Span(
             name, start_wall, os.getpid(), threading.get_ident(), attrs
@@ -336,25 +338,28 @@ class Tracer:
         done.duration_s = max(0.0, duration_s)
         if children:
             done.children.extend(children)
-        parent = self.current()
-        if parent is not None:
-            parent.children.append(done)
+        target = parent if parent is not None else self.current()
+        if target is not None:
+            target.children.append(done)
         else:
             with self._lock:
                 self._roots.append(done)
         return done
 
-    def adopt(self, tree: Dict[str, Any]) -> Span:
+    def adopt(
+        self, tree: Dict[str, Any], parent: Optional[Span] = None
+    ) -> Span:
         """Graft a serialized foreign span tree into this trace.
 
         The foreign spans keep their own pid/tid (a worker subprocess
         renders as its own track in the merged timeline).  Attached to
-        the current open span, else filed as a root.
+        ``parent`` when given, else to the current open span, else
+        filed as a root.
         """
         foreign = Span.from_dict(tree)
-        parent = self.current()
-        if parent is not None:
-            parent.children.append(foreign)
+        target = parent if parent is not None else self.current()
+        if target is not None:
+            target.children.append(foreign)
         else:
             with self._lock:
                 self._roots.append(foreign)

@@ -83,6 +83,15 @@ def flaky_crash_model(flag_path: str) -> ZenFunction:
     return eq_model()
 
 
+def error_model() -> ZenFunction:
+    """Raises a benign in-worker exception (no crash, no hang).
+
+    The worker must translate this to a structured error reply and
+    keep its process — and warm cache — alive.
+    """
+    raise ValueError("deliberate benign failure inside the worker")
+
+
 def unpicklable_answer():
     """kind='call' target whose result cannot cross the pipe."""
     return lambda x: x  # lambdas don't pickle

@@ -322,10 +322,19 @@ class TestFaultInjection:
         with pytest.raises(ZenQueryFailed) as info:
             engine.run(QuerySpec(builder=CRASH, timeout_s=10))
         attempts = info.value.attempts
-        # retries=1 → two attempts per backend rung, two rungs.
-        assert [a.outcome for a in attempts] == ["crash"] * 4
-        assert all(a.error_type == "ZenWorkerCrash" for a in attempts)
-        assert all("status 42" in a.error for a in attempts)
+        # retries=1 → two attempts per rung; the third worker death
+        # trips crash-loop suppression, so the final rung attempt is
+        # refused without burning a fourth worker.
+        assert [a.outcome for a in attempts] == [
+            "crash",
+            "crash",
+            "crash",
+            "crash_loop",
+        ]
+        crashes = attempts[:3]
+        assert all(a.error_type == "ZenWorkerCrash" for a in crashes)
+        assert all("status 42" in a.error for a in crashes)
+        assert attempts[-1].error_type == "ZenCrashLoop"
         assert attempts[0].backoff_s > 0  # backoff before the retry
         assert engine.total_restarts() >= 1
         # The parent survived and the pool still serves queries.

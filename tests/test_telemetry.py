@@ -712,3 +712,54 @@ class TestServiceTracePropagation:
         ]
         assert crash_spans
         assert crash_spans[0].attrs["backend"] == "sat"
+
+
+# ---------------------------------------------------------------------------
+# Warm-dispatch telemetry: cache counters and batch-size histogram
+# ---------------------------------------------------------------------------
+
+
+class TestWarmDispatchMetrics:
+    def test_cache_counters_move_through_the_registry(self):
+        before = METRICS.snapshot()
+        with QueryEngine(pool_size=1, default_timeout_s=60.0) as engine:
+            spec = QuerySpec(
+                builder="tests.service_faults:eq_model",
+                kind="find",
+            )
+            engine.run(spec)
+            engine.run(spec)
+        moved = delta(before, METRICS.snapshot())
+        assert moved.get("service.cache.miss", 0) >= 1
+        assert moved.get("service.cache.hit", 0) >= 1
+
+    def test_batch_size_histogram_counts_submissions(self):
+        before = METRICS.snapshot()
+        with QueryEngine(
+            pool_size=1, max_batch_size=8, default_timeout_s=60.0
+        ) as engine:
+            engine.run_many(
+                [
+                    QuerySpec(builder="tests.service_faults:eq_model")
+                    for _ in range(6)
+                ]
+            )
+        moved = delta(before, METRICS.snapshot())
+        assert moved.get("service.batch.size.count", 0) >= 1
+        # The observed sizes sum to the number of dispatched specs.
+        assert moved.get("service.batch.size.sum", 0) >= 6
+
+    def test_cache_eviction_counter_moves_on_capacity_pressure(self):
+        before = METRICS.snapshot()
+        with QueryEngine(
+            pool_size=1, cache_capacity=1, default_timeout_s=60.0
+        ) as engine:
+            eq = QuerySpec(builder="tests.service_faults:eq_model")
+            unsat = QuerySpec(builder="tests.service_faults:unsat_model")
+            engine.run(eq)
+            engine.run(unsat)  # evicts eq from the capacity-1 cache
+            engine.run(eq)
+        moved = delta(before, METRICS.snapshot())
+        assert moved.get("service.cache.evict", 0) >= 1
+        stats = engine.cache_stats()
+        assert stats["evict"] >= 1
