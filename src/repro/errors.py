@@ -131,15 +131,36 @@ class ZenBackendDisagreement(ZenServiceError):
 
     Both the SAT and BDD workers completed the same query but one
     reported a (concrete-replay-validated) witness while the other
-    reported none — an encoding bug in at least one backend.
-    ``answers`` maps backend name to the answer it returned and
-    ``attempts`` holds both sides' execution history.
+    reported none — an encoding bug in at least one backend.  The
+    exception is self-contained for offline triage (fuzz artifacts
+    serialize it without re-running anything):
+
+    * ``answers`` — backend name → the answer that side returned;
+    * ``attempts`` — the combined per-attempt history of both sides
+      (:class:`~repro.service.AttemptRecord` tuples, interleaved);
+    * ``attempts_by_backend`` — backend name → only that side's
+      attempt records;
+    * ``profiles`` — backend name → that side's
+      :class:`~repro.telemetry.QueryProfile` (None when the parent
+      tracer was disabled for the query).
     """
 
-    def __init__(self, message, answers=None, attempts=()):
+    def __init__(
+        self,
+        message,
+        answers=None,
+        attempts=(),
+        attempts_by_backend=None,
+        profiles=None,
+    ):
         super().__init__(message)
         self.answers = dict(answers or {})
         self.attempts = tuple(attempts)
+        self.attempts_by_backend = {
+            backend: tuple(records)
+            for backend, records in dict(attempts_by_backend or {}).items()
+        }
+        self.profiles = dict(profiles or {})
 
 
 class ZenUnsoundResultError(ZenError, RuntimeError):

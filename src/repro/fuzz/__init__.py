@@ -1,0 +1,66 @@
+"""Differential fuzzing farm for the compositional network models.
+
+The farm mass-produces random verification scenarios (ACLs, route
+maps, NAT chains, tunnel paths, raw Zen programs), cross-checks each
+one across four independent derivations of the same semantics — the
+SAT backend, the BDD backend, the concrete evaluator, and a
+from-scratch reference interpreter — then delta-debugs any failure to
+a minimal scenario and files a JSON repro artifact.
+
+Quickstart::
+
+    python -m repro.fuzz run --seed 7 --count 200 --artifact-dir out/
+    python -m repro.fuzz replay out/fuzz-s7-i42-unsound-sat.json
+
+or from Python::
+
+    from repro.fuzz import FarmConfig, run_farm
+    result = run_farm(FarmConfig(seed=7, count=200))
+    assert result.ok, result.summary()
+"""
+
+from .artifact import (
+    build_artifact,
+    decode_inputs,
+    encode_inputs,
+    load_artifact,
+    write_artifact,
+)
+from .farm import DEFAULT_BUDGET, FarmConfig, FarmResult, replay_artifact, run_farm
+from .oracle import ORACLE_BACKENDS, OracleReport, check_scenario, make_specs
+from .reference import KNOWN_BUGS, reference_inputs, reference_result
+from .scenario import (
+    SCENARIO_KINDS,
+    ScenarioGenerator,
+    build_scenario_model,
+    prop_never,
+    validate_scenario,
+)
+from .shrink import scenario_size, shrink_scenario
+
+__all__ = [
+    "DEFAULT_BUDGET",
+    "FarmConfig",
+    "FarmResult",
+    "KNOWN_BUGS",
+    "ORACLE_BACKENDS",
+    "OracleReport",
+    "SCENARIO_KINDS",
+    "ScenarioGenerator",
+    "build_artifact",
+    "build_scenario_model",
+    "check_scenario",
+    "decode_inputs",
+    "encode_inputs",
+    "load_artifact",
+    "make_specs",
+    "prop_never",
+    "reference_inputs",
+    "reference_result",
+    "replay_artifact",
+    "run_farm",
+    "scenario_size",
+    "shrink_scenario",
+    "validate_scenario",
+    "write_artifact",
+]

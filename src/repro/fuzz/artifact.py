@@ -1,0 +1,218 @@
+"""Structured JSON repro artifacts for fuzz-farm failures.
+
+An artifact is the complete, self-contained record of one confirmed
+failure: the original scenario, the minimized scenario, the failure
+signature and detail, every backend's verdict/witness, the
+counterexample input, the per-attempt service records and telemetry
+profiles (when the failure surfaced through the query engine), and
+the generator coordinates needed to regenerate everything from
+scratch.  ``python -m repro.fuzz replay <artifact.json>`` re-runs the
+oracle on the minimized scenario and must reproduce the same failure
+signature — artifacts are the farm's contract with the human who
+triages them later, possibly on another machine.
+
+Concrete model inputs (witnesses, counterexamples) are encoded as
+tagged JSON (``{"_type": "Header", ...}``) so the decoded objects are
+bit-for-bit the dataclasses the evaluators consume.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..network.packet import Header, Packet
+from ..network.routemap import Route
+
+__all__ = [
+    "ARTIFACT_VERSION",
+    "artifact_path",
+    "build_artifact",
+    "decode_inputs",
+    "encode_inputs",
+    "load_artifact",
+    "write_artifact",
+]
+
+ARTIFACT_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Concrete input encoding
+# ----------------------------------------------------------------------
+
+
+def _encode_value(value: Any) -> Any:
+    if isinstance(value, Header):
+        return {
+            "_type": "Header",
+            "dst_ip": value.dst_ip,
+            "src_ip": value.src_ip,
+            "dst_port": value.dst_port,
+            "src_port": value.src_port,
+            "protocol": value.protocol,
+        }
+    if isinstance(value, Packet):
+        return {
+            "_type": "Packet",
+            "overlay_header": _encode_value(value.overlay_header),
+            "underlay_header": (
+                None
+                if value.underlay_header is None
+                else _encode_value(value.underlay_header)
+            ),
+        }
+    if isinstance(value, Route):
+        return {
+            "_type": "Route",
+            "prefix": value.prefix,
+            "prefix_len": value.prefix_len,
+            "local_pref": value.local_pref,
+            "med": value.med,
+            "as_path": list(value.as_path),
+            "communities": list(value.communities),
+        }
+    if isinstance(value, (list, tuple)):
+        return [_encode_value(v) for v in value]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise TypeError(f"cannot encode {type(value).__name__} into an artifact")
+
+
+def _decode_value(value: Any) -> Any:
+    if isinstance(value, dict) and "_type" in value:
+        tag = value["_type"]
+        if tag == "Header":
+            return Header(
+                dst_ip=value["dst_ip"],
+                src_ip=value["src_ip"],
+                dst_port=value["dst_port"],
+                src_port=value["src_port"],
+                protocol=value["protocol"],
+            )
+        if tag == "Packet":
+            return Packet(
+                overlay_header=_decode_value(value["overlay_header"]),
+                underlay_header=(
+                    None
+                    if value["underlay_header"] is None
+                    else _decode_value(value["underlay_header"])
+                ),
+            )
+        if tag == "Route":
+            return Route(
+                prefix=value["prefix"],
+                prefix_len=value["prefix_len"],
+                local_pref=value["local_pref"],
+                med=value["med"],
+                as_path=list(value["as_path"]),
+                communities=list(value["communities"]),
+            )
+        raise TypeError(f"unknown artifact value tag {tag!r}")
+    if isinstance(value, list):
+        return [_decode_value(v) for v in value]
+    return value
+
+
+def encode_inputs(inputs: Optional[Sequence[Any]]) -> Optional[List[Any]]:
+    """Encode a concrete input tuple for JSON storage."""
+    if inputs is None:
+        return None
+    return [_encode_value(v) for v in inputs]
+
+
+def decode_inputs(data: Optional[Sequence[Any]]) -> Optional[Tuple[Any, ...]]:
+    """Rebuild a concrete input tuple from its JSON encoding."""
+    if data is None:
+        return None
+    return tuple(_decode_value(v) for v in data)
+
+
+# ----------------------------------------------------------------------
+# Artifact assembly
+# ----------------------------------------------------------------------
+
+
+def build_artifact(
+    report: Any,
+    minimized: Dict[str, Any],
+    *,
+    shrink_info: Optional[Dict[str, Any]] = None,
+    farm: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Assemble the JSON artifact for a failing :class:`OracleReport`.
+
+    ``report`` is the (confirmed) failure, ``minimized`` the shrunk
+    scenario, ``shrink_info`` the shrink statistics, and ``farm``
+    free-form campaign metadata (seed, counts, budget).
+    """
+    attempts: Dict[str, List[Dict[str, Any]]] = {}
+    profiles: Dict[str, Optional[Dict[str, Any]]] = {}
+    disagreement = getattr(report, "disagreement", None)
+    if disagreement is not None:
+        for backend, records in disagreement.attempts_by_backend.items():
+            attempts[backend] = [dataclasses.asdict(r) for r in records]
+        for backend, profile in disagreement.profiles.items():
+            profiles[backend] = (
+                dataclasses.asdict(profile) if profile is not None else None
+            )
+    return {
+        "artifact_version": ARTIFACT_VERSION,
+        "kind": "fuzz-failure",
+        "created_unix": time.time(),
+        "signature": list(report.signature or ()),
+        "detail": report.detail,
+        "mode": report.mode,
+        "scenario": report.scenario,
+        "minimized": minimized,
+        "verdicts": dict(report.verdicts),
+        "witnesses": {
+            backend: encode_inputs(witness)
+            for backend, witness in report.witnesses.items()
+        },
+        "counterexample": encode_inputs(report.counterexample),
+        "probes_checked": report.probes_checked,
+        "attempts": attempts,
+        "profiles": profiles,
+        "shrink": dict(shrink_info or {}),
+        "farm": dict(farm or {}),
+    }
+
+
+def artifact_path(directory: str, artifact: Dict[str, Any]) -> str:
+    """The canonical filename for an artifact in ``directory``."""
+    scenario = artifact.get("minimized") or artifact.get("scenario") or {}
+    signature = "-".join(artifact.get("signature") or ["failure"])
+    name = (
+        f"fuzz-s{scenario.get('seed', 0)}-i{scenario.get('index', 0)}"
+        f"-{signature.replace('_', '-')}.json"
+    )
+    return os.path.join(directory, name)
+
+
+def write_artifact(path: str, artifact: Dict[str, Any]) -> str:
+    """Write an artifact to ``path`` (creating parent directories)."""
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(artifact, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_artifact(path: str) -> Dict[str, Any]:
+    """Read an artifact back; raises ValueError on schema mismatch."""
+    with open(path, "r", encoding="utf-8") as handle:
+        artifact = json.load(handle)
+    if not isinstance(artifact, dict) or artifact.get("kind") != "fuzz-failure":
+        raise ValueError(f"{path} is not a fuzz-failure artifact")
+    version = artifact.get("artifact_version")
+    if version != ARTIFACT_VERSION:
+        raise ValueError(
+            f"{path} has artifact_version {version!r}, expected "
+            f"{ARTIFACT_VERSION}"
+        )
+    return artifact

@@ -1,0 +1,244 @@
+"""Delta-debugging shrinker for failing fuzz scenarios.
+
+Given a failing scenario and a ``failing(candidate) -> bool`` predicate
+(does the candidate reproduce the *same failure signature*?),
+:func:`shrink_scenario` greedily searches for a smaller scenario that
+still fails.  The search is ddmin-flavoured:
+
+* **structural removal** — drop chunks of every rule/clause/device
+  list, largest chunks first, halving the chunk size as removals stop
+  sticking;
+* **scalar simplification** — null out optional match/action fields
+  (port ranges, protocol, tunnel endpoints, per-interface ACLs, ...),
+  zero or halve integers;
+* **AST hoisting** — replace a random-Zen-program node with one of its
+  own subtrees, or with a terminal leaf.
+
+Every candidate is validated against the scenario schema first (free)
+and only then run through the caller's oracle (expensive, counted
+against ``max_checks``), so the proposal grammar can be aggressive.
+Everything is deterministic: proposals are enumerated in a fixed
+order, so the same failing scenario always minimizes to the same
+artifact.  On a scenario that is already minimal the shrinker returns
+it unchanged — which also makes shrinking idempotent.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Callable, Dict, Iterator, List, Sequence, Tuple
+
+from .scenario import validate_scenario
+
+__all__ = ["scenario_size", "shrink_scenario"]
+
+#: Dict keys whose list values hold independently-removable elements.
+_REMOVABLE_LISTS = (
+    "rules",
+    "acl",
+    "clauses",
+    "devices",
+    "fib",
+    "match_prefixes",
+)
+
+#: Dict keys whose values may be simplified to None.
+_NULLABLE_KEYS = (
+    "src_ports",
+    "dst_ports",
+    "protocol",
+    "translate_src",
+    "translate_dst",
+    "set_src_port",
+    "set_dst_port",
+    "match_community",
+    "match_as_path_contains",
+    "set_local_pref",
+    "set_med",
+    "add_community",
+    "prepend_as",
+    "acl_in",
+    "acl_out",
+    "gre_start",
+    "gre_end",
+    "check_local_pref",
+)
+
+#: Keys whose integers the scalar pass may zero/halve.  ``version``,
+#: ``seed``, ``index`` and list-lengths are identity/bound fields the
+#: shrinker must leave alone.
+_SCALAR_SKIP_KEYS = {"version", "seed", "index", "max_list_length", "vars"}
+
+_AST_TERMINALS = (["const", 0], ["var", 0], ["true"], ["false"])
+
+
+def scenario_size(obj: Any) -> int:
+    """The scenario's size: its count of JSON atoms.
+
+    The metric every shrink step must strictly decrease — which both
+    guarantees termination and matches the intuition of "a smaller
+    repro".
+    """
+    if isinstance(obj, dict):
+        return sum(scenario_size(v) for v in obj.values())
+    if isinstance(obj, (list, tuple)):
+        return sum(scenario_size(v) for v in obj)
+    return 0 if obj is None else 1
+
+
+def shrink_scenario(
+    data: Dict[str, Any],
+    failing: Callable[[Dict[str, Any]], bool],
+    max_checks: int = 500,
+) -> Dict[str, Any]:
+    """Greedily minimize ``data`` while ``failing`` keeps returning True.
+
+    ``failing`` should re-run the oracle and compare failure
+    signatures; it is invoked at most ``max_checks`` times.  Returns
+    the smallest reproducer found (possibly ``data`` itself, as a deep
+    copy).
+    """
+    best = copy.deepcopy(data)
+    checks = 0
+    improved = True
+    while improved and checks < max_checks:
+        improved = False
+        for candidate in _proposals(best):
+            if checks >= max_checks:
+                break
+            if scenario_size(candidate) >= scenario_size(best):
+                continue
+            try:
+                validate_scenario(candidate)
+            except (ValueError, TypeError, KeyError, IndexError):
+                continue
+            checks += 1
+            if failing(candidate):
+                best = candidate
+                improved = True
+                break  # restart proposals from the smaller scenario
+    return best
+
+
+# ----------------------------------------------------------------------
+# Proposal enumeration (deterministic order: big edits first)
+# ----------------------------------------------------------------------
+
+
+def _proposals(data: Dict[str, Any]) -> Iterator[Dict[str, Any]]:
+    yield from _list_removals(data)
+    yield from _ast_hoists(data)
+    yield from _scalar_simplifications(data)
+
+
+def _edit(data: Dict[str, Any], path: Tuple[Any, ...], value: Any) -> Dict[str, Any]:
+    """A deep copy of ``data`` with the value at ``path`` replaced."""
+    result = copy.deepcopy(data)
+    target = result
+    for step in path[:-1]:
+        target = target[step]
+    target[path[-1]] = value
+    return result
+
+
+def _walk(
+    obj: Any, path: Tuple[Any, ...] = ()
+) -> Iterator[Tuple[Tuple[Any, ...], Any]]:
+    """Yield (path, value) for every node of the JSON tree, preorder."""
+    yield path, obj
+    if isinstance(obj, dict):
+        for key, value in obj.items():
+            yield from _walk(value, path + (key,))
+    elif isinstance(obj, list):
+        for i, value in enumerate(obj):
+            yield from _walk(value, path + (i,))
+
+
+def _list_removals(data: Dict[str, Any]) -> Iterator[Dict[str, Any]]:
+    """Chunk-removal proposals for every removable element list."""
+    for path, value in _walk(data["payload"], ("payload",)):
+        if not (
+            path
+            and isinstance(path[-1], str)
+            and path[-1] in _REMOVABLE_LISTS
+            and isinstance(value, list)
+            and value
+        ):
+            continue
+        # Line-targeted payloads (acl target_line, routemap
+        # target_line) pin their list length: removing lines without
+        # renumbering the target either invalidates the scenario or
+        # changes which line is asked about.  Propose the
+        # renumber-adjusted removal first, then the raw one.
+        target = (
+            data["payload"].get("target_line")
+            if len(path) == 2 and path[-1] in ("rules", "clauses")
+            else None
+        )
+        n = len(value)
+        chunk = n
+        while chunk >= 1:
+            for start in range(0, n, chunk):
+                remaining = value[:start] + value[start + chunk:]
+                if len(remaining) == n:
+                    continue
+                removed = n - len(remaining)
+                if isinstance(target, int) and target > start:
+                    adjusted = _edit(data, path, remaining)
+                    adjusted["payload"]["target_line"] = max(
+                        start, target - removed
+                    )
+                    yield adjusted
+                yield _edit(data, path, remaining)
+            chunk //= 2
+
+
+def _is_ast_node(value: Any) -> bool:
+    return (
+        isinstance(value, list) and bool(value) and isinstance(value[0], str)
+    )
+
+
+def _ast_hoists(data: Dict[str, Any]) -> Iterator[Dict[str, Any]]:
+    """Replace zen AST nodes with their own subtrees, then with leaves."""
+    if data.get("kind") != "zen":
+        return
+    nodes = [
+        (path, value)
+        for path, value in _walk(data["payload"]["ast"], ("payload", "ast"))
+        if _is_ast_node(value) and len(value) > 1
+    ]
+    # Subtree hoists first (big wins), terminal replacements second.
+    for path, node in nodes:
+        for child in node[1:]:
+            if _is_ast_node(child):
+                yield _edit(data, path, copy.deepcopy(child))
+    for path, node in nodes:
+        for terminal in _AST_TERMINALS:
+            if node != terminal:
+                yield _edit(data, path, copy.deepcopy(terminal))
+
+
+def _scalar_simplifications(data: Dict[str, Any]) -> Iterator[Dict[str, Any]]:
+    nulls: List[Tuple[Tuple[Any, ...], Any]] = []
+    ints: List[Tuple[Tuple[Any, ...], int]] = []
+    for path, value in _walk(data["payload"], ("payload",)):
+        if not path:
+            continue
+        key = path[-1]
+        if isinstance(key, str) and key in _NULLABLE_KEYS and value is not None:
+            nulls.append((path, value))
+        elif (
+            isinstance(value, int)
+            and not isinstance(value, bool)
+            and value != 0
+            and not (isinstance(key, str) and key in _SCALAR_SKIP_KEYS)
+        ):
+            ints.append((path, value))
+    for path, _ in nulls:
+        yield _edit(data, path, None)
+    for path, value in ints:
+        yield _edit(data, path, 0)
+    for path, value in ints:
+        if abs(value) > 1:
+            yield _edit(data, path, value // 2)

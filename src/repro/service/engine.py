@@ -758,6 +758,12 @@ class QueryEngine:
                     "own validation, so at least one encoding is unsound",
                     answers=answers,
                     attempts=combined,
+                    attempts_by_backend={
+                        t.ladder[0]: tuple(t.attempts) for t in tasks
+                    },
+                    profiles={
+                        t.ladder[0]: t.result.profile for t in tasks
+                    },
                 )
             winner = min(finished, key=lambda t: t.finished_at)
             return replace(

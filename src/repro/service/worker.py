@@ -116,16 +116,43 @@ def _restore_rss_limit(previous: Optional[Tuple[int, int]]) -> None:
         pass
 
 
+def _safe_text(value: Any) -> str:
+    """``str`` that cannot itself raise (hostile __str__/__repr__)."""
+    try:
+        return str(value)
+    except Exception:
+        try:
+            return repr(value)
+        except Exception:
+            return f"<unprintable {type(value).__name__}>"
+
+
 def describe_exception(error: BaseException) -> Dict[str, Any]:
-    """Flatten an exception into the picklable reply dictionary."""
+    """Flatten an exception into the picklable reply dictionary.
+
+    Every field is built defensively: an exception whose ``__str__``
+    raises, or whose ``stats`` attribute is not a mapping, still
+    produces a structured reply instead of a second, masking failure
+    inside the error path.
+    """
+    try:
+        stats = dict(getattr(error, "stats", {}) or {})
+    except Exception:
+        stats = {}
+    try:
+        tb = "".join(
+            traceback.format_exception(type(error), error, error.__traceback__)
+        )[-4000:]
+    except Exception:
+        tb = ""
     return {
         "type": type(error).__name__,
-        "message": str(error),
-        "reason": getattr(error, "reason", ""),
-        "stats": dict(getattr(error, "stats", {}) or {}),
-        "traceback": "".join(
-            traceback.format_exception(type(error), error, error.__traceback__)
-        )[-4000:],
+        "message": _safe_text(error),
+        "reason": _safe_text(getattr(error, "reason", "")) if getattr(
+            error, "reason", ""
+        ) else "",
+        "stats": stats,
+        "traceback": tb,
     }
 
 
@@ -165,27 +192,53 @@ def execute_task(
         _restore_rss_limit(previous)
 
 
+def _degraded_reply(status: str, info: Any, send_error: Exception) -> Dict[str, Any]:
+    """A guaranteed-picklable stand-in for a reply that failed to pickle.
+
+    Failure replies keep their identity: the original exception's type,
+    repr'd message, and traceback survive as plain strings (only the
+    unpicklable payload — typically a ``stats`` dict holding live
+    objects — is dropped), so the parent's attempt records and any
+    fuzz artifact stay triageable.  Success replies degrade to the
+    ``unpicklable-answer`` error the engine already understands.
+    """
+    if status in ("error", "oom") and isinstance(info, dict):
+        original_type = _safe_text(info.get("type", "")) or "ZenServiceError"
+        return {
+            "type": original_type,
+            "message": (
+                f"{original_type}: {_safe_text(info.get('message', ''))!r} "
+                f"(original worker reply failed to pickle: "
+                f"{type(send_error).__name__}: {_safe_text(send_error)})"
+            ),
+            "reason": "unpicklable-error",
+            "stats": {},
+            "traceback": _safe_text(info.get("traceback", ""))[-4000:],
+        }
+    return {
+        "type": "ZenServiceError",
+        "message": "worker could not pickle the query "
+        f"answer (pid {os.getpid()})",
+        "reason": "unpicklable-answer",
+        "stats": {},
+        "traceback": "",
+    }
+
+
 def _send_reply(conn, seq: int, index: int, status: str, info) -> bool:
-    """Ship one reply; degrade unpicklable answers to a structured error."""
+    """Ship one reply; degrade unpicklable payloads to structured errors.
+
+    ``Connection.send`` pickles before writing, so a pickling failure
+    leaves the pipe clean — the degraded reply below is the *only*
+    bytes the parent sees for this spec, never a truncated frame.
+    """
     try:
         conn.send((seq, index, status, info))
         return True
-    except Exception:
+    except Exception as send_error:
         try:
             conn.send(
-                (
-                    seq,
-                    index,
-                    "error",
-                    {
-                        "type": "ZenServiceError",
-                        "message": "worker could not pickle the query "
-                        f"answer (pid {os.getpid()})",
-                        "reason": "unpicklable-answer",
-                        "stats": {},
-                        "traceback": "",
-                    },
-                )
+                (seq, index, "error", _degraded_reply(status, info, send_error))
             )
             return True
         except Exception:

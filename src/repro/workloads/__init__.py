@@ -2,14 +2,26 @@
 
 from .generators import (
     random_acl,
+    random_acl_rule,
+    random_fwd_table,
+    random_header,
+    random_nat_rule,
+    random_nat_table,
     random_port_range,
     random_prefix,
     random_route_map,
+    resolve_rng,
 )
 
 __all__ = [
     "random_acl",
-    "random_route_map",
-    "random_prefix",
+    "random_acl_rule",
+    "random_fwd_table",
+    "random_header",
+    "random_nat_rule",
+    "random_nat_table",
     "random_port_range",
+    "random_prefix",
+    "random_route_map",
+    "resolve_rng",
 ]

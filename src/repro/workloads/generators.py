@@ -3,6 +3,15 @@
 The paper "generated ACLs and route maps of different sizes randomly";
 these generators reproduce that setup deterministically so benchmark
 runs are comparable.
+
+Determinism contract
+--------------------
+No function here ever touches module-level ``random`` state: every
+generator either takes an explicit ``random.Random`` (``rng=``) or
+derives one from an explicit ``seed``.  Identical (seed, size) inputs
+produce identical workloads on every platform and in every process —
+the property the differential fuzzing farm (:mod:`repro.fuzz`) relies
+on to make its repro artifacts replayable from a seed alone.
 """
 
 from __future__ import annotations
@@ -11,8 +20,34 @@ import random
 from typing import List, Optional, Tuple
 
 from ..network.acl import Acl, AclRule
+from ..network.fib import FwdRule, FwdTable
 from ..network.ip import Prefix
+from ..network.nat import NatRule, NatTable
+from ..network.packet import Header, make_header
 from ..network.routemap import PrefixRange, RouteMap, RouteMapClause
+
+__all__ = [
+    "resolve_rng",
+    "random_prefix",
+    "random_port_range",
+    "random_acl_rule",
+    "random_acl",
+    "random_route_map",
+    "random_nat_rule",
+    "random_nat_table",
+    "random_fwd_table",
+    "random_header",
+]
+
+
+def resolve_rng(seed: int = 0, rng: Optional[random.Random] = None) -> random.Random:
+    """The stream a generator should draw from.
+
+    An explicit ``rng`` wins (callers composing several generators
+    thread one stream through all of them); otherwise a fresh
+    ``random.Random(seed)`` keeps the historical seed-based behaviour.
+    """
+    return rng if rng is not None else random.Random(seed)
 
 
 def random_prefix(rng: random.Random, min_len: int = 8, max_len: int = 32) -> Prefix:
@@ -31,33 +66,40 @@ def random_port_range(rng: random.Random) -> Optional[Tuple[int, int]]:
     return (low, high)
 
 
-def random_acl(num_rules: int, seed: int = 0) -> Acl:
+def random_acl_rule(rng: random.Random, min_len: int = 8, max_len: int = 32) -> AclRule:
+    """One random ACL line (no catch-all logic; see :func:`random_acl`)."""
+    return AclRule(
+        action=rng.random() < 0.5,
+        src=random_prefix(rng, min_len, max_len),
+        dst=random_prefix(rng, min_len, max_len),
+        src_ports=random_port_range(rng),
+        dst_ports=random_port_range(rng),
+        protocol=rng.choice([None, 1, 6, 17]),
+    )
+
+
+def random_acl(
+    num_rules: int, seed: int = 0, rng: Optional[random.Random] = None
+) -> Acl:
     """A random ACL with `num_rules` lines plus a final catch-all.
 
     The last line is a catch-all permit so the Figure-10 query ("find
     a packet matching the last line") requires reasoning about every
     preceding line.
     """
-    rng = random.Random(seed)
+    rng = resolve_rng(seed, rng)
     rules: List[AclRule] = []
     for _ in range(max(num_rules - 1, 0)):
-        rules.append(
-            AclRule(
-                action=rng.random() < 0.5,
-                src=random_prefix(rng),
-                dst=random_prefix(rng),
-                src_ports=random_port_range(rng),
-                dst_ports=random_port_range(rng),
-                protocol=rng.choice([None, 1, 6, 17]),
-            )
-        )
+        rules.append(random_acl_rule(rng))
     rules.append(AclRule(action=True))
     return Acl.of(f"random-{seed}-{num_rules}", rules)
 
 
-def random_route_map(num_clauses: int, seed: int = 0) -> RouteMap:
+def random_route_map(
+    num_clauses: int, seed: int = 0, rng: Optional[random.Random] = None
+) -> RouteMap:
     """A random route map with `num_clauses` stanzas plus a catch-all."""
-    rng = random.Random(seed)
+    rng = resolve_rng(seed, rng)
     clauses: List[RouteMapClause] = []
     for _ in range(max(num_clauses - 1, 0)):
         prefix = random_prefix(rng, min_len=8, max_len=24)
@@ -81,3 +123,64 @@ def random_route_map(num_clauses: int, seed: int = 0) -> RouteMap:
         )
     clauses.append(RouteMapClause(action=True))
     return RouteMap.of(f"random-{seed}-{num_clauses}", clauses)
+
+
+def random_nat_rule(rng: random.Random) -> NatRule:
+    """One random stateless NAT rule (match prefixes + rewrites)."""
+    return NatRule(
+        match_src=random_prefix(rng, min_len=0, max_len=24),
+        match_dst=random_prefix(rng, min_len=0, max_len=24),
+        translate_src=(
+            random_prefix(rng, min_len=8, max_len=24)
+            if rng.random() < 0.5
+            else None
+        ),
+        translate_dst=(
+            random_prefix(rng, min_len=8, max_len=24)
+            if rng.random() < 0.5
+            else None
+        ),
+        set_src_port=rng.randint(0, 65535) if rng.random() < 0.25 else None,
+        set_dst_port=rng.randint(0, 65535) if rng.random() < 0.25 else None,
+    )
+
+
+def random_nat_table(
+    num_rules: int, seed: int = 0, rng: Optional[random.Random] = None
+) -> NatTable:
+    """A random NAT table with `num_rules` ordered rewrite rules."""
+    rng = resolve_rng(seed, rng)
+    return NatTable.of(
+        f"random-nat-{seed}-{num_rules}",
+        [random_nat_rule(rng) for _ in range(num_rules)],
+    )
+
+
+def random_fwd_table(
+    num_rules: int,
+    seed: int = 0,
+    rng: Optional[random.Random] = None,
+    max_port: int = 4,
+) -> FwdTable:
+    """A random longest-prefix-match forwarding table.
+
+    Ports are drawn from ``1..max_port`` (0 is the null interface).
+    """
+    rng = resolve_rng(seed, rng)
+    return FwdTable.of(
+        [
+            FwdRule(random_prefix(rng, min_len=0, max_len=32), rng.randint(1, max_port))
+            for _ in range(num_rules)
+        ]
+    )
+
+
+def random_header(rng: random.Random) -> Header:
+    """A uniformly random concrete five-tuple header."""
+    return make_header(
+        dst_ip=rng.getrandbits(32),
+        src_ip=rng.getrandbits(32),
+        dst_port=rng.getrandbits(16),
+        src_port=rng.getrandbits(16),
+        protocol=rng.getrandbits(8),
+    )

@@ -97,6 +97,21 @@ def unpicklable_answer():
     return lambda x: x  # lambdas don't pickle
 
 
+def unpicklable_error_model() -> ZenFunction:
+    """Raises an exception whose structured reply cannot be pickled.
+
+    ``describe_exception`` copies the exception's ``stats`` mapping
+    into the reply verbatim; planting a live lambda there poisons the
+    reply, so the worker's first ``conn.send`` fails *after* the query
+    already failed.  The worker must then degrade to a reply that
+    keeps the original exception's type and message, rather than
+    dying or masking the failure as an answer-pickling problem.
+    """
+    error = ValueError("deliberate failure carrying unpicklable state")
+    error.stats = {"live_handle": lambda: None}
+    raise error
+
+
 def add_numbers(a: int, b: int) -> int:
     """kind='call' baseline-style check returning plain data."""
     return a + b

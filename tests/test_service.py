@@ -303,6 +303,27 @@ class TestEngineBasics:
             )
         assert "pickle" in str(info.value.attempts[-1].error)
 
+    def test_unpicklable_error_reply_keeps_exception_identity(self, engine):
+        """A worker exception whose reply fails to pickle must degrade
+        to a structured error that still names the *original* failure,
+        and the worker must survive to answer the next query."""
+        with pytest.raises(ZenQueryFailed) as info:
+            engine.run(
+                QuerySpec(
+                    builder="tests.service_faults:unpicklable_error_model"
+                ),
+                fallback=False,
+            )
+        attempt = info.value.attempts[-1]
+        assert attempt.outcome == "error"
+        assert attempt.error_type == "ValueError"
+        assert "deliberate failure carrying unpicklable state" in attempt.error
+        assert "failed to pickle" in attempt.error
+        # The pipe stayed clean and the worker process survived.
+        assert engine.total_restarts() == 0
+        follow_up = engine.run(QuerySpec(builder=EQ), fallback=False)
+        assert follow_up.answer == MAGIC
+
     def test_closed_engine_refuses_work(self):
         eng = make_engine()
         eng.close()
@@ -498,6 +519,35 @@ class TestDifferentialOracle:
         assert info.value.answers["sat"] == MAGIC
         assert info.value.answers["bdd"] is None
         assert any(a.outcome == "ok" for a in info.value.attempts)
+
+    def test_disagreement_carries_per_backend_context(self, engine):
+        # A disagreement report is only actionable with each side's
+        # full attempt history and query profile attached.
+        from repro.telemetry import TRACER, enable_tracing
+
+        TRACER.hard_reset()
+        enable_tracing()
+        try:
+            with pytest.raises(ZenBackendDisagreement) as info:
+                engine.run_differential(
+                    {
+                        "sat": QuerySpec(builder=EQ, trace=True),
+                        "bdd": QuerySpec(builder=UNSAT, trace=True),
+                    },
+                )
+        finally:
+            TRACER.hard_reset()
+        by_backend = info.value.attempts_by_backend
+        assert set(by_backend) == {"sat", "bdd"}
+        for backend, attempts in by_backend.items():
+            assert attempts, backend
+            assert all(a.backend == backend for a in attempts)
+            assert attempts[-1].outcome == "ok"
+        profiles = info.value.profiles
+        assert set(profiles) == {"sat", "bdd"}
+        for backend, profile in profiles.items():
+            assert profile.backend == backend
+            assert profile.total_s >= 0.0
 
     def test_surviving_backend_answers_when_the_other_crashes(self, engine):
         result = engine.run_differential(
