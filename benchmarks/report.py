@@ -63,6 +63,22 @@ SERVICE_ROW_SCHEMA = {
 SERVICE_CACHE_KEYS = ("hit", "miss", "evict", "hit_rate")
 SERVICE_BATCH_KEYS = ("batches", "mean_batch_size", "max_batch_size")
 
+#: Extra fields every row of a ``bench == "overload"`` artifact must
+#: carry since the overload-protection PR.
+OVERLOAD_ROW_SCHEMA = {
+    "overload": (int, float),
+    "pool_size": int,
+    "goodput_qps": (int, float),
+    "baseline_p99_ms": (int, float),
+    "shed_fraction": (int, float),
+    "reject_fraction": (int, float),
+    "interactive_p99_ratio": (int, float),
+    "hedge_win_rate": (int, float),
+    "priorities": dict,
+}
+
+OVERLOAD_PRIORITY_KEYS = ("interactive", "batch", "fuzz")
+
 #: Allowed fractional throughput drop between successive pool sizes
 #: before --check-scaling complains.
 DEFAULT_SCALING_TOLERANCE = 0.15
@@ -91,6 +107,33 @@ def _check_service_row(i: int, row: dict) -> list:
                     problems.append(
                         f"results[{i}].{sub} missing key {key!r}"
                     )
+    return problems
+
+
+def _check_overload_row(i: int, row: dict) -> list:
+    problems = []
+    for key, expected in OVERLOAD_ROW_SCHEMA.items():
+        if key not in row:
+            problems.append(f"results[{i}] missing overload key {key!r}")
+        elif not isinstance(row[key], expected) or isinstance(
+            row[key], bool
+        ):
+            problems.append(
+                f"results[{i}].{key} has wrong type "
+                f"{type(row[key]).__name__}"
+            )
+    priorities = row.get("priorities")
+    if isinstance(priorities, dict):
+        for priority in OVERLOAD_PRIORITY_KEYS:
+            block = priorities.get(priority)
+            if not isinstance(block, dict):
+                problems.append(
+                    f"results[{i}].priorities missing class {priority!r}"
+                )
+            elif "p99_ms" not in block:
+                problems.append(
+                    f"results[{i}].priorities.{priority} missing 'p99_ms'"
+                )
     return problems
 
 
@@ -123,6 +166,8 @@ def check_bench_file(path: Path) -> list:
                 problems.append(f"results[{i}] must be an object")
             elif data.get("bench") == "service":
                 problems.extend(_check_service_row(i, row))
+            elif data.get("bench") == "overload":
+                problems.extend(_check_overload_row(i, row))
     return problems
 
 
@@ -161,7 +206,13 @@ def check_scaling(
     """
     path = root / "BENCH_service.json"
     if not path.is_file():
-        print(f"check-scaling: {path.name} not found, nothing to check")
+        # Bootstrap: a fresh checkout (or a CI job that has not run
+        # the service benchmark yet) has no prior artifact — that is
+        # a clean pass, not a failure.
+        print(
+            f"check-scaling: no {path.name} artifact yet (bootstrap) — "
+            "nothing to gate on, passing clean"
+        )
         return 0
     problems = check_bench_file(path)
     if problems:
@@ -249,6 +300,36 @@ def service_summary(root: Path = REPO_ROOT) -> None:
             f"{hit_rate * 100:>6.1f} "
             f"{survivors:>16} "
             f"{restarts:>9}"
+        )
+
+
+def overload_summary(root: Path = REPO_ROOT) -> None:
+    """Fold BENCH_overload.json (if present) into the printed report."""
+    path = root / "BENCH_overload.json"
+    if not path.is_file():
+        return
+    problems = check_bench_file(path)
+    if problems:
+        print(f"\n{path.name} present but invalid: {'; '.join(problems)}")
+        return
+    data = json.loads(path.read_text())
+    mode = "quick" if data.get("quick") else "full"
+    print(f"\nOverload protection ({path.name}, {mode} run):")
+    print(
+        f"{'scenario':>16} {'pool':>5} {'goodput':>8} {'shed%':>6} "
+        f"{'rej%':>6} {'i_p99_ms':>9} {'ratio':>6} {'hedge_win':>9}"
+    )
+    for row in data["results"]:
+        interactive = row.get("priorities", {}).get("interactive", {})
+        print(
+            f"{row.get('scenario', '?'):>16} "
+            f"{row.get('pool_size', '?'):>5} "
+            f"{row.get('goodput_qps', 0.0):>8.1f} "
+            f"{row.get('shed_fraction', 0.0) * 100:>6.1f} "
+            f"{row.get('reject_fraction', 0.0) * 100:>6.1f} "
+            f"{interactive.get('p99_ms', 0.0):>9.1f} "
+            f"{row.get('interactive_p99_ratio', 0.0):>6.2f} "
+            f"{row.get('hedge_win_rate', 0.0):>9.2f}"
         )
 
 
@@ -392,6 +473,7 @@ def main() -> None:
     acl_series(acl_sizes, args.repeats)
     routemap_series(rm_sizes, args.repeats)
     service_summary()
+    overload_summary()
 
 
 if __name__ == "__main__":

@@ -92,10 +92,50 @@ class ZenQueryTimeout(ZenServiceError, TimeoutError):
     non-checkpointed kernel or a wedged interpreter.
     """
 
-    def __init__(self, message, timeout_s=None, pid=None):
+    def __init__(self, message, timeout_s=None, pid=None, attempts=()):
         super().__init__(message)
         self.timeout_s = timeout_s
         self.pid = pid
+        #: Per-attempt history when the engine raised this for an
+        #: exhausted *client deadline* (``deadline_s``) rather than a
+        #: single hard per-attempt timeout; empty otherwise.
+        self.attempts = tuple(attempts)
+
+
+class ZenQueueFull(ZenServiceError):
+    """Admission control rejected a submission: the queue is full.
+
+    Raised *synchronously* by ``QueryEngine.submit``/``run`` before any
+    task is created — the fast-reject half of backpressure.  Callers
+    that prefer blocking backpressure pass ``submit(..., wait=True)``.
+
+    ``priority`` is the class that was refused, ``depth``/``limit``
+    the admission depth and that class's admit limit at the moment of
+    rejection (lower-priority classes saturate first by design, so an
+    ``interactive`` ZenQueueFull implies the queue is truly full).
+    """
+
+    def __init__(self, message, priority="", depth=None, limit=None):
+        super().__init__(message)
+        self.priority = priority
+        self.depth = depth
+        self.limit = limit
+
+
+class ZenOverloadShed(ZenServiceError):
+    """An admitted query was dropped by utilization-triggered shedding.
+
+    Under sustained overload the dispatcher drops queued ``batch``/
+    ``fuzz`` work (never ``interactive``) to keep latency bounded for
+    the traffic that matters; each dropped task fails with this error
+    and a structured ``shed_overload`` attempt record instead of
+    waiting out a deadline it could never meet.
+    """
+
+    def __init__(self, message, attempts=(), priority=""):
+        super().__init__(message)
+        self.attempts = tuple(attempts)
+        self.priority = priority
 
 
 class ZenCircuitOpen(ZenServiceError):

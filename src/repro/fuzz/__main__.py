@@ -59,6 +59,19 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--pool-size", type=int, default=2)
     run.add_argument("--timeout-s", type=float, default=30.0)
+    run.add_argument(
+        "--chaos-every",
+        type=int,
+        default=0,
+        help="inject a worker fault before every Nth service-routed "
+        "scenario (0 = never)",
+    )
+    run.add_argument(
+        "--chaos-kinds",
+        default="kill,stall",
+        help="comma-separated fault kinds for --chaos-every "
+        "(kill, stall, oom)",
+    )
     run.add_argument("--max-failures", type=int, default=5)
     run.add_argument("--shrink-checks", type=int, default=300)
     run.add_argument(
@@ -106,6 +119,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         max_failures=args.max_failures,
         shrink_checks=args.shrink_checks,
         wall_budget_s=args.wall_budget,
+        chaos_every=args.chaos_every,
+        chaos_kinds=tuple(
+            k for k in args.chaos_kinds.split(",") if k
+        ),
     )
     progress = None if args.quiet else lambda message: print(
         f"[fuzz] {message}", file=sys.stderr
@@ -124,6 +141,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"{summary['failed']} failed"
             + (" [truncated]" if summary["truncated"] else "")
         )
+        if summary["chaos_injected"]:
+            faults = ", ".join(
+                f"{kind}x{n}"
+                for kind, n in sorted(summary["chaos_faults"].items())
+            )
+            print(
+                f"  chaos: {summary['chaos_injected']} faults injected"
+                f" ({faults}); {summary['chaos_absorbed']}"
+                f" transport failures absorbed"
+            )
         for signature, count in summary["signatures"].items():
             print(f"  {signature}: {count}")
         for path in summary["artifacts"]:

@@ -20,10 +20,20 @@
 The whole campaign is a pure function of its configuration: same
 config, same scenarios, same verdicts, same artifacts (artifact files
 embed a wall-clock timestamp; everything else is deterministic).
+
+``chaos_every`` relaxes that determinism deliberately: every Nth
+service-routed scenario also gets a worker fault (kill/stall) injected
+into the engine right before the query, proving a campaign survives
+mid-run worker churn.  The *verdicts* stay deterministic anyway —
+any failure observed on a chaos-poisoned engine is re-checked by the
+in-process oracle before an artifact is filed, so transport casualties
+(a crash caused by the injected kill, a shed caused by the injected
+load) can never masquerade as solver bugs.
 """
 
 from __future__ import annotations
 
+import random
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
@@ -76,6 +86,12 @@ class FarmConfig:
     max_failures: int = 5
     shrink_checks: int = 300
     wall_budget_s: Optional[float] = None
+    #: Inject a worker fault before every Nth service-routed scenario
+    #: (0 = never).  Faults are drawn from ``chaos_kinds`` by a
+    #: seed-derived RNG; see the module docstring for how verdicts
+    #: stay deterministic regardless.
+    chaos_every: int = 0
+    chaos_kinds: Tuple[str, ...] = ("kill", "stall")
 
 
 @dataclass
@@ -88,10 +104,13 @@ class FarmResult:
     explained: int = 0
     failed: int = 0
     service_checked: int = 0
+    chaos_injected: int = 0
+    chaos_absorbed: int = 0
     elapsed_s: float = 0.0
     truncated: bool = False
     signatures: Dict[Tuple[str, ...], int] = field(default_factory=dict)
     explanations: Dict[str, int] = field(default_factory=dict)
+    chaos_faults: Dict[str, int] = field(default_factory=dict)
     artifacts: List[Dict[str, Any]] = field(default_factory=list)
     artifact_paths: List[str] = field(default_factory=list)
 
@@ -111,6 +130,9 @@ class FarmResult:
             "explained": self.explained,
             "failed": self.failed,
             "service_checked": self.service_checked,
+            "chaos_injected": self.chaos_injected,
+            "chaos_absorbed": self.chaos_absorbed,
+            "chaos_faults": dict(self.chaos_faults),
             "elapsed_s": round(self.elapsed_s, 3),
             "truncated": self.truncated,
             "signatures": {
@@ -143,6 +165,8 @@ def run_farm(
     own_engine = None
     started = time.monotonic()
     say = progress or (lambda message: None)
+    chaos_rng = random.Random(f"repro-fuzz-chaos:{config.seed}")
+    service_index = 0
     try:
         for index in range(config.count):
             if (
@@ -169,6 +193,16 @@ def run_farm(
                     default_timeout_s=config.timeout_s,
                 )
             active = (engine or own_engine) if use_service else None
+            chaos_active = False
+            if use_service:
+                service_index += 1
+                if (
+                    config.chaos_every > 0
+                    and service_index % config.chaos_every == 0
+                ):
+                    chaos_active = _inject_chaos(
+                        active, config, chaos_rng, result, say
+                    )
             report = check_scenario(
                 data,
                 engine=active,
@@ -176,6 +210,27 @@ def run_farm(
                 budget=config.budget,
                 timeout_s=config.timeout_s if use_service else None,
             )
+            if report.failed and chaos_active:
+                # The engine this ran on had a fault injected moments
+                # ago; a crash or transport failure here may be our own
+                # chaos, not a solver bug.  Only the deterministic
+                # in-process oracle's verdict files an artifact.
+                recheck = check_scenario(
+                    data,
+                    probe_count=config.probe_count,
+                    budget=config.budget,
+                )
+                if recheck.failed:
+                    report = recheck
+                else:
+                    result.chaos_absorbed += 1
+                    say(
+                        f"scenario {index} failed only on the "
+                        f"chaos-poisoned engine "
+                        f"({'/'.join(report.signature or ('unknown',))})"
+                        f" — absorbed, not filed"
+                    )
+                    report = recheck
             result.checked += 1
             if use_service:
                 result.service_checked += 1
@@ -220,6 +275,37 @@ def run_farm(
             own_engine.close()
     result.elapsed_s = time.monotonic() - started
     return result
+
+
+def _inject_chaos(
+    engine: Any,
+    config: FarmConfig,
+    rng: random.Random,
+    result: FarmResult,
+    say: Callable[[str], None],
+) -> bool:
+    """Aim one worker fault at the campaign's engine.
+
+    Returns True when a fault actually landed (a ``kill`` against an
+    empty pool lands nothing).  The fault kind is drawn from
+    ``config.chaos_kinds`` by the campaign's seed-derived RNG, so the
+    *schedule* of faults is reproducible even though their victims
+    (live worker pids) are not.
+    """
+    from ..service.chaos import inject_worker_fault
+
+    kind, pid = inject_worker_fault(
+        engine,
+        kind=rng.choice(list(config.chaos_kinds)),
+        rng=rng,
+        stall_ms=100.0,
+    )
+    if pid is None and kind == "kill":
+        return False
+    result.chaos_injected += 1
+    result.chaos_faults[kind] = result.chaos_faults.get(kind, 0) + 1
+    say(f"chaos: injected {kind}" + (f" (pid {pid})" if pid else ""))
+    return True
 
 
 def _signature_preserving(

@@ -41,6 +41,8 @@ from ..errors import (
     ZenBackendDisagreement,
     ZenBudgetExceeded,
     ZenError,
+    ZenOverloadShed,
+    ZenQueueFull,
     ZenServiceError,
     ZenUnsoundResultError,
 )
@@ -58,8 +60,26 @@ ORACLE_BACKENDS = ("sat", "bdd")
 
 #: Attempt outcomes that count as explained (resource) exhaustion
 #: rather than semantic failures when the service path gives up.
-_EXPLAINED_OUTCOMES = {"timeout", "budget_exceeded", "shed", "cancelled"}
-_EXPLAINED_ERROR_TYPES = {"ZenBudgetExceeded", "ZenQueryTimeout"}
+#: Overload-protection outcomes (shed_overload, deadline_expired,
+#: engine_shutdown) belong here: a chaos-injected storm dropping a
+#: fuzz query is the admission controller working, not a solver bug.
+_EXPLAINED_OUTCOMES = {
+    "timeout",
+    "budget_exceeded",
+    "shed",
+    "cancelled",
+    "shed_overload",
+    "deadline_expired",
+    "engine_shutdown",
+}
+_EXPLAINED_ERROR_TYPES = {
+    "ZenBudgetExceeded",
+    "ZenQueryTimeout",
+    "ZenOverloadShed",
+    "ZenQueueFull",
+}
+
+_OVERLOAD_OUTCOMES = {"shed_overload", "engine_shutdown"}
 
 
 @dataclass
@@ -127,6 +147,9 @@ def make_specs(
         timeout_s=timeout_s,
         label=scenario_label(data),
         trace=trace,
+        # Campaigns are background work: under overload the engine may
+        # shed or reject them, and the oracle treats that as explained.
+        priority="fuzz",
     )
 
 
@@ -262,6 +285,16 @@ def _solve_service(
             if witness is not None:
                 report.witnesses[backend] = witness
         return
+    except (ZenQueueFull, ZenOverloadShed):
+        # Structured backpressure: the admission controller rejected or
+        # shed this query before (or instead of) solving it.  Under a
+        # chaos storm this is the overload machinery working as
+        # designed, not a solver bug — and ZenQueueFull arrives with no
+        # attempts at all, so it must be classified before the
+        # attempt-based logic below.
+        report.explained = "overload"
+        report.verdicts.update({b: None for b in ORACLE_BACKENDS})
+        return
     except (ZenQueryFailed, ZenServiceError) as error:
         attempts = getattr(error, "attempts", ())
         unsound = [
@@ -278,9 +311,13 @@ def _solve_service(
             or a.error_type in _EXPLAINED_ERROR_TYPES
             for a in attempts
         ):
-            report.explained = "timeout" if any(
-                a.outcome == "timeout" for a in attempts
-            ) else "budget"
+            outcomes = {a.outcome for a in attempts}
+            if outcomes & _OVERLOAD_OUTCOMES:
+                report.explained = "overload"
+            elif "timeout" in outcomes or "deadline_expired" in outcomes:
+                report.explained = "timeout"
+            else:
+                report.explained = "budget"
             report.verdicts.update({b: None for b in ORACLE_BACKENDS})
             return
         report.ok = False

@@ -17,6 +17,14 @@ specs, and :meth:`QueryEngine.submit` / :meth:`QueryEngine.gather`
 plus the async ``run_async``/``run_many_async`` keep thousands of
 queries in flight from one caller.
 
+PR 7 adds overload protection: bounded per-priority admission
+(:class:`AdmissionController`, ``ZenQueueFull`` backpressure),
+utilization-triggered load shedding (``shed_overload`` outcomes),
+client-deadline propagation (``QuerySpec.deadline_s``), tail-latency
+hedging (:class:`HedgeTracker`), hysteretic brownout degradation
+(:class:`BrownoutController`), a deterministic :meth:`QueryEngine.shutdown`
+drain, and the :mod:`repro.service.chaos` fault-injection harness.
+
 Public surface:
 
 * :class:`QuerySpec` — picklable description of one query;
@@ -31,10 +39,18 @@ Public surface:
   what the worker itself calls).
 """
 
+from .admission import (
+    BROWNOUT,
+    NORMAL,
+    PRIORITIES,
+    AdmissionController,
+    BrownoutController,
+    HedgeTracker,
+)
 from .breaker import CLOSED, HALF_OPEN, OPEN, BreakerTransition, CircuitBreaker
 from .cache import CacheEntry, ModelCache, ref_cache_key
 from .engine import AttemptRecord, QueryEngine, ServiceResult
-from .spec import QuerySpec, resolve_ref, run_spec
+from .spec import QuerySpec, clamp_spec_deadline, resolve_ref, run_spec
 
 __all__ = [
     "QueryEngine",
@@ -51,4 +67,11 @@ __all__ = [
     "ref_cache_key",
     "resolve_ref",
     "run_spec",
+    "AdmissionController",
+    "BrownoutController",
+    "HedgeTracker",
+    "PRIORITIES",
+    "NORMAL",
+    "BROWNOUT",
+    "clamp_spec_deadline",
 ]

@@ -55,6 +55,39 @@ A persistent dispatcher thread owns the pool; the public API enqueues
 tasks and waits on futures, so any number of caller threads (or one
 event loop with thousands of in-flight queries) can share one engine.
 
+Overload protection (PR 7)
+--------------------------
+
+The engine degrades *predictably* instead of queueing unboundedly:
+
+* **admission control** — a bounded admission window
+  (``max_queue_depth``) with per-priority headroom
+  (:mod:`repro.service.admission`): ``interactive`` may use every
+  slot, ``batch``/``fuzz`` hit :class:`~repro.errors.ZenQueueFull`
+  backpressure earlier (fast-reject by default, blocking with
+  ``submit(..., wait=True)``);
+* **load shedding** — at ``shed_threshold`` utilization the
+  dispatcher drops queued ``batch``/``fuzz`` tasks (never
+  ``interactive``) with a structured ``shed_overload`` attempt record
+  and :class:`~repro.errors.ZenOverloadShed`;
+* **deadline propagation** — ``QuerySpec.deadline_s`` is one budget
+  for the query's whole life: queue wait, dispatch, retries, and the
+  in-worker cooperative :class:`~repro.core.budget.Budget` all
+  decrement it.  Tasks that expire in the queue fail without burning
+  a worker; a retry that cannot finish inside the remaining deadline
+  is never launched; batched specs that expired behind a slow
+  batch-mate are skipped by the worker itself;
+* **hedged requests** — with hedging enabled, a request still
+  unanswered after a p95-derived delay is duplicated on a second,
+  idle worker; the first reply wins and the loser is killed and
+  charged to telemetry (``service.hedge.*``);
+* **brownout mode** — sustained stress (shedding, or utilization at
+  the brownout threshold) flips the engine into a degraded mode:
+  fallback ladders shrink to one rung, cooperative budgets shrink by
+  ``brownout_budget_factor``, hedging pauses, and non-interactive
+  cold-cache work is shed (the warm fast path stays open).  Recovery
+  is hysteretic (:class:`~repro.service.admission.BrownoutController`).
+
 Every result carries its full attempt history — worker pids, attempt
 counts, backoff delays, breaker states, cache hits, batch sizes — for
 observability.
@@ -79,16 +112,25 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 from ..errors import (
     ZenBackendDisagreement,
     ZenCircuitOpen,
+    ZenOverloadShed,
     ZenQueryFailed,
+    ZenQueryTimeout,
     ZenServiceError,
     ZenTypeError,
 )
 from ..telemetry.metrics import METRICS
 from ..telemetry.profile import QueryProfile, profile_from_spans
 from ..telemetry.spans import TRACER, Span, span
+from .admission import (
+    BROWNOUT,
+    PRIORITY_RANK,
+    AdmissionController,
+    BrownoutController,
+    HedgeTracker,
+)
 from .breaker import CircuitBreaker
 from .cache import ref_cache_key
-from .spec import QuerySpec
+from .spec import QuerySpec, clamp_spec_deadline
 from .worker import worker_main
 
 __all__ = ["AttemptRecord", "QueryEngine", "ServiceResult"]
@@ -119,7 +161,9 @@ class AttemptRecord:
     * ``worker_pid`` — the subprocess that ran it (None for sheds);
     * ``outcome`` — ``ok`` / ``crash`` / ``timeout`` / ``oom`` /
       ``budget_exceeded`` / ``error`` / ``shed`` / ``cancelled`` /
-      ``crash_loop``;
+      ``crash_loop`` / ``shed_overload`` (dropped by load shedding) /
+      ``deadline_expired`` (the client deadline ran out) /
+      ``engine_shutdown`` (queued when the engine drained);
     * ``error_type`` / ``error`` — structured failure identity and
       message (empty on success);
     * ``backoff_s`` — the backoff delay scheduled *after* this attempt
@@ -130,7 +174,9 @@ class AttemptRecord:
       before this attempt was submitted (pool contention + backoff
       skew; 0 for sheds, which never reach a worker);
     * ``breaker_state`` — the backend's breaker state right after the
-      outcome was recorded.
+      outcome was recorded;
+    * ``hedged`` — True when this attempt ran on the hedge lane (a
+      tail-latency duplicate), not the primary dispatch.
     """
 
     backend: str
@@ -143,6 +189,7 @@ class AttemptRecord:
     elapsed_s: float = 0.0
     queue_wait_s: float = 0.0
     breaker_state: str = ""
+    hedged: bool = False
 
     @property
     def duration_ms(self) -> float:
@@ -173,6 +220,11 @@ class ServiceResult:
     worker consulted its model cache (None when the spec opted out),
     and ``batch_size`` is how many specs shared the answering
     submission's round-trip.
+
+    Overload observability: ``priority`` echoes the spec's admission
+    class, ``queue_wait_s`` totals the eligible-but-unserved time
+    across every attempt, and ``hedged`` is True when the winning
+    answer came from the hedge lane rather than the primary dispatch.
     """
 
     answer: Any
@@ -189,6 +241,9 @@ class ServiceResult:
     profile: Optional[QueryProfile] = None
     cache_hit: Optional[bool] = None
     batch_size: int = 1
+    priority: str = "interactive"
+    queue_wait_s: float = 0.0
+    hedged: bool = False
 
     @property
     def retried(self) -> bool:
@@ -292,6 +347,11 @@ class _Task:
         "future",
         "trace_parent",
         "batch_size",
+        "deadline_at",
+        "admitted",
+        "hedged",
+        "launched",
+        "total_queue_wait_s",
     )
 
     def __init__(
@@ -324,6 +384,18 @@ class _Task:
         self.future: "Future[ServiceResult]" = Future()
         self.trace_parent: Optional[Span] = None
         self.batch_size = 1
+        #: Absolute client deadline (engine clock); None = no deadline.
+        self.deadline_at: Optional[float] = None
+        #: True while this task holds an admission slot.
+        self.admitted = False
+        #: True once a hedge duplicate has been launched for it.
+        self.hedged = False
+        #: True once the first dispatch marked the future RUNNING —
+        #: after that, ``Future.cancel()`` is (correctly) refused.
+        self.launched = False
+        #: Queue wait accumulated across every attempt (the per-attempt
+        #: value in ``queue_wait_s`` covers only the latest dispatch).
+        self.total_queue_wait_s = 0.0
 
     @property
     def backend(self) -> str:
@@ -345,13 +417,17 @@ class _Batch:
     reply lands.
     """
 
-    __slots__ = ("seq", "tasks", "next_index", "deadline")
+    __slots__ = ("seq", "tasks", "next_index", "deadline", "hedge")
 
-    def __init__(self, seq: int, tasks: List[_Task]):
+    def __init__(self, seq: int, tasks: List[_Task], hedge: bool = False):
         self.seq = seq
         self.tasks = tasks
         self.next_index = 0
         self.deadline: Optional[float] = None
+        #: True for a tail-latency duplicate: its single task is also
+        #: the current task of a primary batch, first reply wins, and
+        #: this lane never charges breakers or consumes retries.
+        self.hedge = hedge
 
     @property
     def current(self) -> _Task:
@@ -393,6 +469,17 @@ class QueryEngine:
         max_batch_size: int = 8,
         crash_loop_threshold: int = 3,
         cache_capacity: int = 32,
+        max_queue_depth: Optional[int] = 10_000,
+        shed_threshold: float = 0.9,
+        brownout_enter: float = 0.75,
+        brownout_exit: float = 0.5,
+        brownout_window_s: float = 1.0,
+        brownout_budget_factor: float = 0.5,
+        hedge: bool = False,
+        hedge_after_s: Optional[float] = None,
+        hedge_quantile: float = 0.95,
+        hedge_factor: float = 1.5,
+        hedge_min_samples: int = 10,
         clock: Callable[[], float] = time.monotonic,
         sleep: Callable[[float], None] = time.sleep,
     ):
@@ -414,6 +501,24 @@ class QueryEngine:
         if cache_capacity < 1:
             raise ZenTypeError(
                 f"cache_capacity must be >= 1, got {cache_capacity!r}"
+            )
+        if max_queue_depth is not None and max_queue_depth < 1:
+            raise ZenTypeError(
+                "max_queue_depth must be >= 1 or None (unbounded), got "
+                f"{max_queue_depth!r}"
+            )
+        if not 0.0 < shed_threshold <= 1.0:
+            raise ZenTypeError(
+                f"shed_threshold must be in (0, 1], got {shed_threshold!r}"
+            )
+        if not 0.0 < brownout_budget_factor <= 1.0:
+            raise ZenTypeError(
+                "brownout_budget_factor must be in (0, 1], got "
+                f"{brownout_budget_factor!r}"
+            )
+        if hedge_after_s is not None and hedge_after_s < 0:
+            raise ZenTypeError(
+                f"hedge_after_s must be >= 0, got {hedge_after_s!r}"
             )
         if start_method is None:
             # fork shares the parent's imported modules (cheap spawn,
@@ -437,6 +542,7 @@ class QueryEngine:
         self._rng = random.Random(seed)
         self._seq = 0
         self._closed = False
+        self._draining = False
         self._ctx = get_context(start_method)
         config = {
             "sys_path": list(sys.path),
@@ -472,6 +578,37 @@ class QueryEngine:
         self._batch_hist = METRICS.histogram(
             "service.batch.size", BATCH_SIZE_BOUNDS
         )
+        # -- overload-protection state ----------------------------------
+        self.shed_threshold = shed_threshold
+        self.brownout_budget_factor = brownout_budget_factor
+        self.hedge_enabled = hedge
+        self._admission = AdmissionController(
+            max_depth=max_queue_depth,
+            shed_threshold=shed_threshold,
+            clock=clock,
+        )
+        self._brownout = BrownoutController(
+            enter_utilization=brownout_enter,
+            exit_utilization=brownout_exit,
+            window_s=brownout_window_s,
+            clock=clock,
+        )
+        self._hedge_tracker = HedgeTracker(
+            quantile=hedge_quantile,
+            factor=hedge_factor,
+            min_samples=hedge_min_samples,
+            fixed_delay_s=hedge_after_s,
+        )
+        self._shed_count = 0
+        self._observed_sheds = 0
+        self._expired_count = 0
+        self._cancelled_count = 0
+        self._shutdown_failed_count = 0
+        self._hedges = {"launched": 0, "won": 0, "lost": 0, "failed": 0}
+        #: Builder refs known warm in at least one worker (from ok
+        #: replies whose cache was consulted) — the brownout fast path
+        #: keeps serving these while cold builds are shed.
+        self._warm_refs: set = set()
 
     # -- lifecycle -------------------------------------------------------
 
@@ -479,6 +616,35 @@ class QueryEngine:
         return self
 
     def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def shutdown(self, timeout_s: float = 30.0) -> None:
+        """Drain deterministically, then close.
+
+        Unlike :meth:`close` (which kills in-flight work), a drain:
+
+        * stops admitting new work (further submissions raise
+          :class:`~repro.errors.ZenServiceError`);
+        * resolves every *queued* task's future with a structured
+          ``engine_shutdown`` attempt outcome — never left
+          forever-pending;
+        * lets in-flight batches run to completion, still bounded by
+          their hard timeouts and remaining client deadlines;
+        * then stops the dispatcher and the workers.
+
+        ``timeout_s`` bounds the wait for in-flight work; whatever is
+        still running after it is killed by the :meth:`close` that
+        always follows.
+        """
+        if self._closed:
+            return
+        self._draining = True
+        dispatcher = self._dispatcher
+        if dispatcher is not None and dispatcher.is_alive():
+            with self._cmd_lock:
+                self._commands.append(("drain",))
+            self._wake()
+            dispatcher.join(timeout=timeout_s)
         self.close()
 
     def close(self) -> None:
@@ -562,6 +728,41 @@ class QueryEngine:
             "crash_loops": dict(self._crash_counts),
         }
 
+    @property
+    def mode(self) -> str:
+        """Current degradation mode: ``"normal"`` or ``"brownout"``.
+
+        Reading the property feeds the brownout controller a fresh
+        utilization sample, so recovery is observable even while the
+        dispatcher sits idle between bursts.
+        """
+        return self._brownout.observe(self._admission.utilization(), 0)
+
+    def overload_stats(self) -> Dict[str, Any]:
+        """Admission, shedding, deadline, and brownout counters."""
+        launched = self._hedges["launched"]
+        return {
+            "mode": self.mode,
+            "queue_depth": self._admission.depth(),
+            "utilization": self._admission.utilization(),
+            "shed_threshold": self.shed_threshold,
+            "admission": self._admission.snapshot(),
+            "shed_overload": self._shed_count,
+            "deadline_expired": self._expired_count,
+            "cancelled": self._cancelled_count,
+            "engine_shutdown": self._shutdown_failed_count,
+            "brownout": self._brownout.snapshot(),
+            "hedge": {
+                **self._hedges,
+                "enabled": self.hedge_enabled,
+                "delay_s": self._hedge_tracker.delay(),
+                "samples": len(self._hedge_tracker),
+                "win_rate": (
+                    self._hedges["won"] / launched if launched else 0.0
+                ),
+            },
+        }
+
     def invalidate_cache(self) -> int:
         """Advance the cache epoch, flushing every worker's warm cache.
 
@@ -606,13 +807,18 @@ class QueryEngine:
         mask the rest of the portfolio).
         """
         self._check_open()
-        tasks = [
-            self._make_task(i, spec, self._ladder(spec, fallback))
-            for i, spec in enumerate(specs)
-        ]
+        tasks: List[_Task] = []
         with span("service.run_many", queries=len(specs)) as sp:
-            self._attach_trace(tasks, sp)
-            self._enqueue(tasks)
+            # Admit-then-enqueue one task at a time: blocking admission
+            # of the whole portfolio up front would deadlock when the
+            # portfolio is larger than the admission window (admitted
+            # tasks only release their slots once dispatched).
+            for i, spec in enumerate(specs):
+                self._admit(spec, wait=True)
+                task = self._make_task(i, spec, self._ladder(spec, fallback))
+                self._attach_trace([task], sp)
+                self._enqueue([task])
+                tasks.append(task)
             wait_futures([t.future for t in tasks])
         out: List[Union[ServiceResult, ZenServiceError]] = []
         for task in tasks:
@@ -620,7 +826,12 @@ class QueryEngine:
         return out
 
     def submit(
-        self, spec: QuerySpec, *, fallback: bool = True
+        self,
+        spec: QuerySpec,
+        *,
+        fallback: bool = True,
+        wait: bool = False,
+        wait_timeout_s: Optional[float] = None,
     ) -> "Future[ServiceResult]":
         """Enqueue one query and return its future immediately.
 
@@ -630,8 +841,19 @@ class QueryEngine:
         ``asyncio.wrap_future`` (see :meth:`run_async`), so one
         process can keep thousands of queries in flight against the
         pool without blocking per batch.
+
+        Backpressure: when the admission window for ``spec.priority``
+        is full the call raises :class:`~repro.errors.ZenQueueFull`
+        *synchronously* (fast-reject, the default) or, with
+        ``wait=True``, blocks until a slot frees (bounded by
+        ``wait_timeout_s`` when given).
+
+        A future cancelled (``Future.cancel()``) before its task is
+        dispatched is skipped by the dispatcher with a ``cancelled``
+        attempt record; the worker never runs it.
         """
         self._check_open()
+        self._admit(spec, wait=wait, wait_timeout_s=wait_timeout_s)
         task = self._make_task(0, spec, self._ladder(spec, fallback))
         if TRACER.enabled:
             task.trace_parent = TRACER.current()
@@ -730,18 +952,20 @@ class QueryEngine:
                     "differential mode compares find/verify answers, got "
                     f"kind={side.kind!r} for backend {name!r}"
                 )
-        tasks = [
-            self._make_task(i, side, [name])
-            for i, (name, side) in enumerate(sides.items())
-        ]
+        tasks: List[_Task] = []
         group = {"race": race, "tasks": tasks}
-        for task in tasks:
-            task.group = group
         with span(
             "service.run_differential", backends=list(sides), race=race
         ) as sp:
-            self._attach_trace(tasks, sp)
-            self._enqueue(tasks)
+            # Incremental admit-then-enqueue (see run_many): a depth-1
+            # window must be able to drain side 1 before side 2 blocks.
+            for i, (name, side) in enumerate(sides.items()):
+                self._admit(side, wait=True)
+                task = self._make_task(i, side, [name])
+                task.group = group
+                self._attach_trace([task], sp)
+                self._enqueue([task])
+                tasks.append(task)
             wait_futures([t.future for t in tasks])
 
         combined: Tuple[AttemptRecord, ...] = tuple(
@@ -791,9 +1015,35 @@ class QueryEngine:
     def _check_open(self) -> None:
         if self._closed:
             raise ZenServiceError("QueryEngine is closed")
+        if self._draining:
+            raise ZenServiceError("QueryEngine is draining (shutdown)")
+
+    def _admit(
+        self,
+        spec: QuerySpec,
+        *,
+        wait: bool = False,
+        wait_timeout_s: Optional[float] = None,
+    ) -> None:
+        """Claim one admission slot for ``spec`` or raise ZenQueueFull."""
+        try:
+            self._admission.admit(
+                spec.priority,
+                wait=wait,
+                timeout_s=wait_timeout_s,
+                abort=lambda: self._closed or self._draining,
+            )
+        except ZenServiceError:
+            METRICS.counter("service.admission.reject").inc()
+            raise
 
     def _ladder(self, spec: QuerySpec, fallback: bool) -> List[str]:
         if not fallback:
+            return [spec.backend]
+        if self._brownout.mode == BROWNOUT:
+            # Brownout: no fallback ladder — a failing query fails
+            # fast on its preferred backend instead of occupying
+            # workers for every rung while the queue burns.
             return [spec.backend]
         ladder = [spec.backend]
         ladder.extend(b for b in self.backends if b != spec.backend)
@@ -804,7 +1054,21 @@ class QueryEngine:
     ) -> _Task:
         ref_key = ref_cache_key(spec)
         sticky = zlib.crc32(ref_key.encode("utf-8")) % self.pool_size
-        return _Task(index, spec, ladder, ref_key, sticky)
+        task = _Task(index, spec, ladder, ref_key, sticky)
+        task.admitted = True
+        if spec.deadline_s is not None:
+            # The client deadline starts ticking at submission, so the
+            # queue wait ahead of the first dispatch counts against it.
+            task.deadline_at = self._clock() + spec.deadline_s
+        return task
+
+    def _complete(self, task: _Task, now: float) -> None:
+        """Mark done and return the admission slot (exactly once)."""
+        if not task.done:
+            task.finish(now)
+        if task.admitted:
+            task.admitted = False
+            self._admission.release(task.spec.priority)
 
     @staticmethod
     def _attach_trace(tasks: Sequence[_Task], sp: Any) -> None:
@@ -867,14 +1131,30 @@ class QueryEngine:
         """The persistent scheduler: owns the pool until told to stop."""
         pending: List[_Task] = []
         inflight: Dict[_WorkerHandle, _Batch] = {}
+        state = {"stop": False, "draining": False}
         try:
             while True:
-                if self._drain_commands(pending, inflight):
+                self._drain_commands(pending, inflight, state)
+                if state["stop"]:
                     self._shutdown_dispatch(pending, inflight)
                     return
                 now = self._clock()
-                self._fill_workers(pending, inflight, now)
-                timeout = self._wait_timeout(pending, inflight, self._clock())
+                self._expire_queued(pending, now)
+                if state["draining"]:
+                    # Drain: fail the queue with engine_shutdown, let
+                    # in-flight work finish (deadlines still enforced
+                    # below), never launch anything new.
+                    self._drain_queued(pending, now)
+                    if not pending and not inflight:
+                        return  # drained; close() stops the workers
+                else:
+                    self._shed_overloaded(pending, now)
+                    self._observe_mode()
+                    self._fill_workers(pending, inflight, now)
+                    self._launch_hedges(inflight, self._clock())
+                timeout = self._wait_timeout(
+                    pending, inflight, self._clock(), state["draining"]
+                )
                 waitables: List[Any] = [
                     h.conn for h in inflight if h.conn is not None
                 ]
@@ -895,8 +1175,7 @@ class QueryEngine:
             )
             self._shutdown_dispatch(pending, inflight, failure)
 
-    def _drain_commands(self, pending, inflight) -> bool:
-        stop = False
+    def _drain_commands(self, pending, inflight, state) -> None:
         while True:
             with self._cmd_lock:
                 if not self._commands:
@@ -917,9 +1196,10 @@ class QueryEngine:
                         handle.conn.send(("epoch", epoch))
                     except (OSError, ValueError):
                         handle.kill()
+            elif kind == "drain":
+                state["draining"] = True
             elif kind == "stop":
-                stop = True
-        return stop
+                state["stop"] = True
 
     def _shutdown_dispatch(
         self, pending, inflight, error: Optional[ZenServiceError] = None
@@ -941,25 +1221,51 @@ class QueryEngine:
         if task.done:
             return
         task.error = error
-        task.finish(now)
+        self._complete(task, now)
         try:
             task.future.set_exception(error)
         except Exception:  # pragma: no cover - already resolved
             pass
 
-    def _wait_timeout(self, pending, inflight, now) -> Optional[float]:
+    def _wait_timeout(
+        self, pending, inflight, now, draining=False
+    ) -> Optional[float]:
         timeouts: List[float] = []
+        hedge_delay = (
+            self._hedge_tracker.delay()
+            if self._brownout.mode != BROWNOUT
+            else None
+        )
         for batch in inflight.values():
             if batch.deadline is not None:
                 timeouts.append(batch.deadline - now)
+            if (
+                hedge_delay is not None
+                and not batch.hedge
+                and not batch.exhausted
+                and not batch.current.hedged
+                and self._hedge_wanted(batch.current)
+            ):
+                # Wake when the current task crosses the hedge delay.
+                timeouts.append(
+                    batch.current.submitted_at + hedge_delay - now
+                )
         ready_pending = False
         for task in pending:
             if task.done:
                 continue
+            if task.deadline_at is not None:
+                timeouts.append(task.deadline_at - now)
             if task.ready_at > now:
                 timeouts.append(task.ready_at - now)
             else:
                 ready_pending = True
+        if self._brownout.mode == BROWNOUT:
+            # Tick often enough that hysteretic recovery is observed
+            # within (a fraction of) one window even with no traffic.
+            timeouts.append(max(0.05, self._brownout.window_s * 0.25))
+        if draining and inflight:
+            timeouts.append(0.1)
         if timeouts:
             return max(0.0, min(timeouts))
         if ready_pending and not inflight:
@@ -967,6 +1273,285 @@ class QueryEngine:
             # wait for should not happen; poll rather than wedge.
             return 0.05
         return None
+
+    # -- overload protection (dispatcher side) ---------------------------
+
+    def _expire_queued(self, pending, now) -> None:
+        """Fail queued tasks whose future was cancelled or whose client
+        deadline passed — without burning a worker on either."""
+        for task in list(pending):
+            if task.done:
+                pending.remove(task)
+                continue
+            if task.future.cancelled():
+                pending.remove(task)
+                self._cancel_task(task, now)
+                continue
+            if task.deadline_at is not None and now >= task.deadline_at:
+                pending.remove(task)
+                self._expire_task(task, now, where="in queue")
+
+    def _cancel_task(self, task, now) -> None:
+        """Bookkeeping for a future the caller cancelled pre-dispatch.
+
+        The future is already resolved (cancelled); only the attempt
+        record and the admission slot need completing.
+        """
+        self._cancelled_count += 1
+        METRICS.counter("service.cancelled").inc()
+        task.attempts.append(
+            AttemptRecord(
+                backend=task.backend,
+                attempt=task.attempt + 1,
+                worker_pid=None,
+                outcome="cancelled",
+                error="cancelled by the caller before dispatch",
+            )
+        )
+        self._complete(task, now)
+
+    def _expire_task(self, task, now, where, pid=None) -> None:
+        """Resolve a task as deadline_expired (no retry, no breaker)."""
+        self._expired_count += 1
+        METRICS.counter("service.deadline.expired").inc()
+        task.attempts.append(
+            AttemptRecord(
+                backend=task.backend,
+                attempt=task.attempt + 1,
+                worker_pid=pid,
+                outcome="deadline_expired",
+                error_type="ZenQueryTimeout",
+                error=(
+                    f"client deadline of {task.spec.deadline_s}s "
+                    f"expired {where}"
+                ),
+                queue_wait_s=task.total_queue_wait_s,
+            )
+        )
+        task.error = ZenQueryTimeout(
+            f"client deadline of {task.spec.deadline_s}s expired "
+            f"{where} (label {task.spec.label!r})",
+            timeout_s=task.spec.deadline_s,
+            pid=pid,
+            attempts=task.attempts,
+        )
+        self._complete(task, now)
+        try:
+            task.future.set_exception(task.error)
+        except Exception:  # pragma: no cover - already resolved
+            pass
+
+    def _drain_queued(self, pending, now) -> None:
+        """Resolve every queued task with an engine_shutdown outcome."""
+        for task in list(pending):
+            pending.remove(task)
+            if task.done:
+                continue
+            self._shutdown_failed_count += 1
+            task.attempts.append(
+                AttemptRecord(
+                    backend=task.backend,
+                    attempt=task.attempt + 1,
+                    worker_pid=None,
+                    outcome="engine_shutdown",
+                    error_type="ZenServiceError",
+                    error=(
+                        "engine drained before this task was dispatched"
+                    ),
+                    queue_wait_s=task.total_queue_wait_s,
+                )
+            )
+            task.error = ZenQueryFailed(
+                "engine shut down (drain) before this query was "
+                "dispatched",
+                attempts=task.attempts,
+                label=task.spec.label,
+            )
+            self._complete(task, now)
+            try:
+                task.future.set_exception(task.error)
+            except Exception:  # pragma: no cover - already resolved
+                pass
+
+    def _shed_overloaded(self, pending, now) -> None:
+        """Drop queued batch/fuzz tasks while utilization is critical.
+
+        Lowest priority sheds first, newest arrivals within a class
+        first (oldest queued work is closest to service).  interactive
+        is never shed — its protection is the reserved admission
+        headroom plus this policy.
+        """
+        if self._admission.max_depth is None:
+            return
+        if self._admission.utilization() < self.shed_threshold:
+            return
+        candidates = [
+            t
+            for t in pending
+            if not t.done and t.spec.priority != "interactive"
+        ]
+        candidates.sort(
+            key=lambda t: (
+                PRIORITY_RANK.get(t.spec.priority, 1),
+                t.enqueued_at,
+            ),
+            reverse=True,
+        )
+        for task in candidates:
+            if self._admission.utilization() < self.shed_threshold:
+                break
+            pending.remove(task)
+            self._shed_task(task, now)
+
+    def _shed_task(self, task, now, reason="queue overloaded") -> None:
+        """Resolve a task as shed_overload (structured, never retried)."""
+        self._shed_count += 1
+        METRICS.counter("service.shed.overload").inc()
+        utilization = self._admission.utilization()
+        task.attempts.append(
+            AttemptRecord(
+                backend=task.backend,
+                attempt=task.attempt + 1,
+                worker_pid=None,
+                outcome="shed_overload",
+                error_type="ZenOverloadShed",
+                error=(
+                    f"{reason} (utilization {utilization:.0%}); "
+                    f"{task.spec.priority} task shed"
+                ),
+                queue_wait_s=task.total_queue_wait_s,
+            )
+        )
+        task.error = ZenOverloadShed(
+            f"query shed under overload: {reason} "
+            f"(priority {task.spec.priority!r}, "
+            f"utilization {utilization:.0%})",
+            attempts=task.attempts,
+            priority=task.spec.priority,
+        )
+        self._complete(task, now)
+        try:
+            task.future.set_exception(task.error)
+        except Exception:  # pragma: no cover - already resolved
+            pass
+
+    def _observe_mode(self) -> str:
+        """Feed the brownout controller one dispatch-loop sample."""
+        sheds = self._shed_count - self._observed_sheds
+        self._observed_sheds = self._shed_count
+        before = self._brownout.mode
+        mode = self._brownout.observe(self._admission.utilization(), sheds)
+        if mode != before:
+            METRICS.counter(f"service.brownout.{mode}").inc()
+        return mode
+
+    # -- hedged requests -------------------------------------------------
+
+    def _hedge_wanted(self, task) -> bool:
+        """Policy: is this task eligible for a tail-latency duplicate?"""
+        wanted = (
+            task.spec.hedge
+            if task.spec.hedge is not None
+            else self.hedge_enabled
+        )
+        # Race-group siblings already run redundantly; hedging them
+        # would double-book workers for no extra information.
+        return wanted and task.group is None
+
+    def _launch_hedges(self, inflight, now) -> None:
+        """Duplicate slow in-flight tasks onto idle workers.
+
+        A hedge is a single-task batch marked ``hedge=True`` whose task
+        is *also* the current task of a primary batch; the first ok
+        reply wins, every other outcome of the hedge lane is discarded
+        (no breaker charge, no retry consumption).  Suppressed in
+        brownout — spare capacity belongs to the queue then.
+        """
+        if self._brownout.mode == BROWNOUT:
+            return
+        delay = self._hedge_tracker.delay()
+        if delay is None:
+            return
+        idle = [
+            h
+            for h in self._workers
+            if h not in inflight
+        ]
+        if not idle:
+            return
+        for handle, batch in list(inflight.items()):
+            if not idle:
+                return
+            if batch.hedge or batch.exhausted:
+                continue
+            task = batch.current
+            if task.done or task.hedged or not self._hedge_wanted(task):
+                continue
+            if now - task.submitted_at < delay:
+                continue
+            hedge_handle = idle.pop()
+            self._launch_hedge(hedge_handle, task, inflight, now)
+
+    def _launch_hedge(self, handle, task, inflight, now) -> None:
+        try:
+            handle.ensure()
+        except Exception:  # pragma: no cover - spawn failure
+            return
+        spec = task.spec.with_backend(task.backend)
+        if TRACER.enabled:
+            spec = spec.with_trace(True)
+        remaining = (
+            None
+            if task.deadline_at is None
+            else task.deadline_at - now
+        )
+        if remaining is not None or spec.deadline_s is not None:
+            spec = clamp_spec_deadline(spec, remaining)
+        self._seq += 1
+        batch = _Batch(self._seq, [task], hedge=True)
+        timeout = self._attempt_timeout(task, spec, now)
+        batch.deadline = None if timeout is None else now + timeout
+        try:
+            handle.conn.send(
+                (
+                    "batch",
+                    batch.seq,
+                    self._epoch,
+                    (spec,),
+                    (task.deadline_at,),
+                )
+            )
+        except (OSError, ValueError):
+            handle.kill()
+            return
+        task.hedged = True
+        inflight[handle] = batch
+        self._hedges["launched"] += 1
+        METRICS.counter("service.hedge.launched").inc()
+
+    def _settle_hedge(
+        self, task, winner_batch, pending, inflight, now
+    ) -> None:
+        """First reply won; cancel the losing lane and charge telemetry.
+
+        The loser's worker is killed (its answer is no longer wanted
+        and may be arbitrarily slow — that is why the hedge existed);
+        batch-mates queued behind a losing primary are requeued
+        uncharged, exactly like any other worker loss.
+        """
+        won = winner_batch.hedge
+        self._hedges["won" if won else "lost"] += 1
+        METRICS.counter(
+            "service.hedge.won" if won else "service.hedge.lost"
+        ).inc()
+        for handle, other in list(inflight.items()):
+            if other is winner_batch or other.exhausted:
+                continue
+            if other.current is not task:
+                continue
+            del inflight[handle]
+            handle.kill()
+            self._requeue_rest(other, pending, now)
 
     # -- worker filling (sticky + batching) ------------------------------
 
@@ -1002,10 +1587,18 @@ class QueryEngine:
         otherwise the warm worker gets first refusal on its ref.
         Race-group siblings never share a batch (they must run in
         parallel workers).
+
+        Scheduling order is priority-major (interactive before batch
+        before fuzz), FIFO within a class — the stable sort preserves
+        arrival order, so overload cannot starve a class internally.
         """
         chosen: List[Tuple[_Task, str]] = []
         groups: set = set()
-        for task in list(pending):
+        brownout = self._brownout.mode == BROWNOUT
+        ordered = sorted(
+            pending, key=lambda t: PRIORITY_RANK.get(t.spec.priority, 1)
+        )
+        for task in ordered:
             if len(chosen) >= self.max_batch_size:
                 break
             if task.done:
@@ -1014,6 +1607,17 @@ class QueryEngine:
             if task.ready_at > now:
                 continue
             if task.group is not None and id(task.group) in groups:
+                continue
+            if brownout and self._brownout_cold_shed(task):
+                pending.remove(task)
+                self._shed_task(
+                    task,
+                    now,
+                    reason=(
+                        "brownout fast path: cold-model build for a "
+                        "non-interactive query"
+                    ),
+                )
                 continue
             if task.sticky_index != handle.index:
                 sticky_handle = self._workers[task.sticky_index]
@@ -1027,6 +1631,21 @@ class QueryEngine:
             if task.group is not None:
                 groups.add(id(task.group))
         return chosen
+
+    def _brownout_cold_shed(self, task) -> bool:
+        """In brownout, only cache-hittable non-interactive work runs.
+
+        A non-interactive query whose builder has never been seen warm
+        in any worker would pay the full cold build under overload —
+        shed it; warm refs (and everything interactive, and kinds that
+        never touch the cache) keep flowing.
+        """
+        return (
+            task.spec.priority != "interactive"
+            and task.spec.use_cache
+            and task.spec.kind != "call"
+            and task.ref_key not in self._warm_refs
+        )
 
     def _resolve_rung(self, task: _Task, now: float) -> Optional[str]:
         """Advance the task past shed rungs; None = finished in place."""
@@ -1075,15 +1694,47 @@ class QueryEngine:
 
     def _launch_batch(self, handle, chosen, inflight, now) -> bool:
         """Ship one batch to a worker; False on a broken pipe."""
+        # First dispatch flips each future to RUNNING; a future the
+        # caller managed to cancel() in the enqueue→launch window is
+        # honored here instead of shipping dead work to a worker.
+        live = []
+        for task, backend in chosen:
+            if task.launched:
+                live.append((task, backend))
+            elif task.future.set_running_or_notify_cancel():
+                task.launched = True
+                live.append((task, backend))
+            else:
+                self._cancel_task(task, now)
+        if not live:
+            return True
+        chosen = live
         handle.ensure()
+        brownout = self._brownout.mode == BROWNOUT
+        budget_factor = self.brownout_budget_factor if brownout else 1.0
         specs = []
+        deadlines = []
         for task, backend in chosen:
             spec = task.spec.with_backend(backend)
             if TRACER.enabled:
                 # Parent is profiling: have the worker trace this
                 # execution and ship its span tree back in the reply.
                 spec = spec.with_trace(True)
+            # Deadline propagation: the spec that ships carries only
+            # what is left of the client deadline — in both the hard
+            # timeout and the cooperative budget.  Brownout shrinks
+            # the cooperative budget even without a client deadline.
+            remaining = (
+                None
+                if task.deadline_at is None
+                else task.deadline_at - now
+            )
+            if remaining is not None or brownout:
+                spec = clamp_spec_deadline(
+                    spec, remaining, budget_factor=budget_factor
+                )
             specs.append(spec)
+            deadlines.append(task.deadline_at)
         self._seq += 1
         batch = _Batch(self._seq, [task for task, _ in chosen])
         size = len(chosen)
@@ -1093,6 +1744,7 @@ class QueryEngine:
             task.queue_wait_s = max(
                 0.0, now - max(task.ready_at, task.enqueued_at)
             )
+            task.total_queue_wait_s += task.queue_wait_s
             if task.started_at is None:
                 task.started_at = now
             task.submitted_at = now
@@ -1117,10 +1769,18 @@ class QueryEngine:
                     parent=task.trace_parent,
                 )
         first = batch.current
-        timeout = self._timeout_for(first.spec)
+        timeout = self._attempt_timeout(first, first.spec, now)
         batch.deadline = None if timeout is None else now + timeout
         try:
-            handle.conn.send(("batch", batch.seq, self._epoch, tuple(specs)))
+            handle.conn.send(
+                (
+                    "batch",
+                    batch.seq,
+                    self._epoch,
+                    tuple(specs),
+                    tuple(deadlines),
+                )
+            )
         except (OSError, ValueError):
             handle.kill()
             return False
@@ -1136,6 +1796,18 @@ class QueryEngine:
             if spec.timeout_s is not None
             else self.default_timeout_s
         )
+
+    def _attempt_timeout(
+        self, task: _Task, spec: QuerySpec, now: float
+    ) -> Optional[float]:
+        """Hard per-attempt timeout clamped to the client deadline."""
+        timeout = self._timeout_for(spec)
+        if task.deadline_at is not None:
+            remaining = max(0.001, task.deadline_at - now)
+            timeout = (
+                remaining if timeout is None else min(timeout, remaining)
+            )
+        return timeout
 
     # -- reply collection ------------------------------------------------
 
@@ -1181,7 +1853,7 @@ class QueryEngine:
             return
         nxt = batch.current
         nxt.submitted_at = now
-        timeout = self._timeout_for(nxt.spec)
+        timeout = self._attempt_timeout(nxt, nxt.spec, now)
         batch.deadline = None if timeout is None else now + timeout
 
     def _requeue_rest(self, batch, pending, now) -> None:
@@ -1197,18 +1869,46 @@ class QueryEngine:
     ) -> None:
         task = batch.current
         if task.done:
-            # Cancelled (race sibling) while queued in this batch; the
-            # worker ran it anyway — discard, keep the batch moving.
+            # Resolved elsewhere (race sibling cancelled it, the other
+            # hedge lane answered, or the deadline expired); the worker
+            # ran it anyway — discard, keep the batch moving.
             self._advance_batch(batch, handle, inflight, now)
+            return
+        if batch.hedge and status != "ok":
+            # The hedge lane only ever *wins*; every failure there is
+            # discarded — no breaker charge, no retry consumption, the
+            # primary dispatch still owns the task's fate.
+            self._hedges["failed"] += 1
+            METRICS.counter("service.hedge.failed").inc()
+            if status == "oom":
+                del inflight[handle]
+                handle.kill()
+            else:
+                self._advance_batch(batch, handle, inflight, now)
             return
         backend = task.backend
         breaker = self._breakers[backend]
         elapsed = float(info.get("elapsed_s", now - task.submitted_at))
         pid = handle.pid
+        if status == "expired":
+            # The worker skipped the spec: its client deadline passed
+            # while it waited behind batch-mates.  Substrate is fine —
+            # no breaker charge, no retry.
+            self._expire_task(
+                task,
+                now,
+                where=f"behind its batch-mates in worker pid {pid}",
+                pid=pid,
+            )
+            self._advance_batch(batch, handle, inflight, now)
+            return
         if status == "ok":
             breaker.record_success()
             self._crash_counts.pop(task.ref_key, None)
             self._absorb_cache_info(handle, info)
+            self._hedge_tracker.observe(elapsed)
+            if info.get("cache_hit") is not None:
+                self._warm_refs.add(task.ref_key)
             task.attempts.append(
                 AttemptRecord(
                     backend=backend,
@@ -1218,6 +1918,7 @@ class QueryEngine:
                     elapsed_s=elapsed,
                     queue_wait_s=task.queue_wait_s,
                     breaker_state=breaker.state,
+                    hedged=batch.hedge,
                 )
             )
             profile = None
@@ -1247,13 +1948,18 @@ class QueryEngine:
                 profile=profile,
                 cache_hit=info.get("cache_hit"),
                 batch_size=task.batch_size,
+                priority=task.spec.priority,
+                queue_wait_s=task.total_queue_wait_s,
+                hedged=batch.hedge,
             )
-            task.finish(now)
+            self._complete(task, now)
             try:
                 task.future.set_result(task.result)
             except Exception:  # pragma: no cover - already resolved
                 pass
             self._advance_batch(batch, handle, inflight, now)
+            if task.hedged:
+                self._settle_hedge(task, batch, pending, inflight, now)
             return
         if status == "oom":
             # Even a survived MemoryError leaves allocator state
@@ -1303,7 +2009,7 @@ class QueryEngine:
                 attempts=task.attempts,
                 label=task.spec.label,
             )
-            task.finish(now)
+            self._complete(task, now)
             try:
                 task.future.set_exception(task.error)
             except Exception:  # pragma: no cover - already resolved
@@ -1352,10 +2058,30 @@ class QueryEngine:
             del inflight[handle]
             pid = handle.pid
             handle.kill()
+            if batch.hedge:
+                # A timed-out hedge lane is discarded: the primary
+                # dispatch still owns the task and its deadline.
+                self._hedges["failed"] += 1
+                METRICS.counter("service.hedge.failed").inc()
+                continue
             task = batch.current
             self._requeue_rest(batch, pending, now)
             if task.done:
                 continue  # cancelled task wedged the worker; no charge
+            if (
+                task.deadline_at is not None
+                and now >= task.deadline_at - 1e-9
+            ):
+                # The *client* deadline ran out mid-attempt: terminal,
+                # no retry could help, no breaker charge (the substrate
+                # may be healthy — the client budget is simply spent).
+                self._expire_task(
+                    task,
+                    now,
+                    where=f"mid-attempt (worker pid {pid} killed)",
+                    pid=pid,
+                )
+                continue
             timeout = self._timeout_for(task.spec)
             self._record_failure(
                 task,
@@ -1411,7 +2137,7 @@ class QueryEngine:
                     attempts=task.attempts,
                     label=task.spec.label,
                 )
-                task.finish(now)
+                self._complete(task, now)
                 try:
                     task.future.set_exception(task.error)
                 except Exception:  # pragma: no cover - already resolved
@@ -1428,6 +2154,12 @@ class QueryEngine:
         else:
             detail = f"exited with status {exitcode}"
         if batch is None:
+            return
+        if batch.hedge:
+            # A dead hedge lane never charges the task, the breaker, or
+            # the builder's crash count — the primary dispatch lives.
+            self._hedges["failed"] += 1
+            METRICS.counter("service.hedge.failed").inc()
             return
         task = batch.current
         self._requeue_rest(batch, pending, now)
@@ -1471,9 +2203,25 @@ class QueryEngine:
         breaker.record_failure(outcome)
         attempt_number = task.attempt + 1
         backoff = 0.0
-        if retryable and outcome in _RETRYABLE and task.attempt < self.retries:
+        deadline_blocked = False
+        will_retry = (
+            retryable
+            and outcome in _RETRYABLE
+            and task.attempt < self.retries
+        )
+        candidate = (
+            self._backoff_delay(task.attempt + 1) if will_retry else 0.0
+        )
+        if will_retry and task.deadline_at is not None:
+            # Deadline propagation: never launch a retry that cannot
+            # even *start* before the client deadline — fail now with
+            # the full history instead of burning a worker slot.
+            if now + candidate >= task.deadline_at:
+                will_retry = False
+                deadline_blocked = True
+        if will_retry:
             task.attempt += 1
-            backoff = self._backoff_delay(task.attempt)
+            backoff = candidate
             task.ready_at = now + backoff
         else:
             task.ladder_pos += 1
@@ -1510,6 +2258,17 @@ class QueryEngine:
                 },
                 parent=task.trace_parent,
             )
+        if deadline_blocked:
+            self._expire_task(
+                task,
+                now,
+                where=(
+                    f"after a {outcome} attempt (remaining deadline "
+                    "cannot fit another retry)"
+                ),
+                pid=pid,
+            )
+            return
         pending.append(task)  # _resolve_rung finish-fails an exhausted ladder
 
     def _finish_failure(self, task, now) -> None:
@@ -1537,7 +2296,7 @@ class QueryEngine:
                 attempts=task.attempts,
                 label=task.spec.label,
             )
-        task.finish(now)
+        self._complete(task, now)
         try:
             task.future.set_exception(task.error)
         except Exception:  # pragma: no cover - already resolved

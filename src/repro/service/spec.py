@@ -24,8 +24,9 @@ from ..core.budget import Budget, start_meter
 from ..core.function import DEFAULT_MAX_LIST_LENGTH, ZenFunction
 from ..errors import ZenTypeError
 from ..telemetry.spans import TRACER
+from .admission import PRIORITIES
 
-__all__ = ["QuerySpec", "resolve_ref", "run_spec"]
+__all__ = ["QuerySpec", "clamp_spec_deadline", "resolve_ref", "run_spec"]
 
 if False:  # typing-only, avoids a runtime import cycle
     from .cache import ModelCache
@@ -108,6 +109,17 @@ class QuerySpec:
       builder resolution from its warm
       :class:`~repro.service.cache.ModelCache`; set False to force a
       cold rebuild (differential cold-vs-warm checks).
+    * ``priority`` — admission class (``"interactive"`` / ``"batch"``
+      / ``"fuzz"``).  Interactive work is never shed and is admitted
+      while any queue slot remains; batch and fuzz hit backpressure
+      and load shedding first.
+    * ``deadline_s`` — *client* deadline for the whole query: queue
+      wait, every dispatch, every retry backoff, and the in-worker
+      solve all decrement one budget.  Distinct from ``timeout_s``
+      (the hard per-attempt kill).  Expiry raises
+      :class:`~repro.errors.ZenQueryTimeout` with the attempt history.
+    * ``hedge`` — per-query override of the engine's tail-latency
+      hedging (None = use the engine default).
     """
 
     builder: Any
@@ -126,6 +138,9 @@ class QuerySpec:
     label: str = ""
     trace: bool = False
     use_cache: bool = True
+    priority: str = "interactive"
+    deadline_s: Optional[float] = None
+    hedge: Optional[bool] = None
 
     def __post_init__(self) -> None:
         if self.kind not in QUERY_KINDS:
@@ -150,6 +165,20 @@ class QuerySpec:
             raise ZenTypeError(
                 f"QuerySpec.timeout_s must be positive, got {self.timeout_s!r}"
             )
+        if self.priority not in PRIORITIES:
+            raise ZenTypeError(
+                f"QuerySpec.priority must be one of {PRIORITIES}, got "
+                f"{self.priority!r}"
+            )
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ZenTypeError(
+                "QuerySpec.deadline_s must be positive, got "
+                f"{self.deadline_s!r}"
+            )
+        if self.hedge is not None and not isinstance(self.hedge, bool):
+            raise ZenTypeError(
+                f"QuerySpec.hedge must be True/False/None, got {self.hedge!r}"
+            )
 
     def with_backend(self, backend: str) -> "QuerySpec":
         """A copy of this spec targeting a different backend."""
@@ -162,6 +191,65 @@ class QuerySpec:
         if trace == self.trace:
             return self
         return replace(self, trace=trace)
+
+
+#: Floor for clamped limits: a deadline that already expired still
+#: ships a sliver of budget so the failure is attributed to the
+#: deadline machinery, not to a zero-division or negative timeout.
+MIN_REMAINING_S = 1e-3
+
+
+def clamp_spec_deadline(
+    spec: QuerySpec,
+    remaining_s: Optional[float],
+    budget_factor: float = 1.0,
+) -> QuerySpec:
+    """Shrink a spec's limits to a remaining client deadline.
+
+    Deadline *propagation*: the engine computes how much of the
+    client's ``deadline_s`` is left at dispatch time (after queue wait,
+    earlier attempts, and backoff) and clamps both enforcement layers
+    to it — the hard per-attempt ``timeout_s`` and the cooperative
+    :class:`~repro.core.budget.Budget` deadline (attached fresh when
+    the spec carries none, so even a budget-less spec stops
+    cooperatively before the hard kill).  ``budget_factor`` < 1
+    additionally shrinks the *cooperative* deadline (brownout mode);
+    the hard timeout is left at the remaining deadline so well-behaved
+    queries fail soft, never by the kill path.
+
+    With ``remaining_s=None`` only the brownout shrink applies (and
+    only to a budget the spec already carries).
+    """
+    if remaining_s is None:
+        if budget_factor >= 1.0 or spec.budget is None:
+            return spec
+        base = spec.budget
+        if base.deadline_s is None:
+            return spec
+        return replace(
+            spec,
+            budget=replace(
+                base,
+                deadline_s=max(
+                    MIN_REMAINING_S, base.deadline_s * budget_factor
+                ),
+            ),
+        )
+    remaining = max(MIN_REMAINING_S, remaining_s)
+    timeout = (
+        remaining
+        if spec.timeout_s is None
+        else min(spec.timeout_s, remaining)
+    )
+    base = spec.budget if spec.budget is not None else Budget()
+    soft = remaining * max(MIN_REMAINING_S, budget_factor)
+    if base.deadline_s is not None:
+        soft = min(base.deadline_s, soft)
+    return replace(
+        spec,
+        timeout_s=timeout,
+        budget=replace(base, deadline_s=max(MIN_REMAINING_S, soft)),
+    )
 
 
 def _build_function(

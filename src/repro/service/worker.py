@@ -25,7 +25,13 @@ its own* lives here:
 
 Wire protocol (parent → worker):
 
-* ``("batch", seq, epoch, (spec, ...))`` — run the specs in order;
+* ``("batch", seq, epoch, (spec, ...), (deadline_at, ...))`` — run the
+  specs in order.  ``deadline_at`` is the spec's absolute *client*
+  deadline on the shared ``time.monotonic`` clock (``CLOCK_MONOTONIC``
+  is system-wide on Linux, so parent-stamped deadlines are directly
+  comparable here), or None.  A spec whose deadline already passed
+  while queued behind its batch-mates is skipped with an ``"expired"``
+  reply instead of burning worker time on an answer nobody waits for;
 * ``("epoch", epoch)`` — flush the model cache if ``epoch`` is newer;
 * ``None`` — shut down.
 
@@ -278,9 +284,28 @@ def worker_main(conn, config: Optional[Dict[str, Any]] = None) -> None:
             continue
         if kind != "batch":  # pragma: no cover - protocol guard
             continue
-        _, seq, epoch, specs = message
+        _, seq, epoch, specs, deadlines = message
         cache.bump_epoch(epoch)
         for index, spec in enumerate(specs):
+            deadline_at = (
+                deadlines[index] if index < len(deadlines) else None
+            )
+            if deadline_at is not None and time.monotonic() >= deadline_at:
+                expired = {
+                    "type": "ZenQueryTimeout",
+                    "message": (
+                        "client deadline expired while the spec waited "
+                        "behind its batch-mates in worker "
+                        f"{os.getpid()}"
+                    ),
+                    "reason": "deadline",
+                    "stats": {},
+                    "traceback": "",
+                    "elapsed_s": 0.0,
+                }
+                if not _send_reply(conn, seq, index, "expired", expired):
+                    return
+                continue
             evictions_before = cache.evictions
             status, info = execute_task(spec, cache)
             if status == "ok":
