@@ -40,7 +40,7 @@ from repro.service.chaos import OverloadScenario, percentile, run_overload
 COLD_START = "repro.service.chaos:cold_start_ms"
 
 
-def storm_row(overload: float, quick: bool) -> dict:
+def storm_row(overload: float, quick: bool, bundle_dir=None) -> dict:
     scenario = OverloadScenario(
         overload=overload,
         pool_size=2 if quick else 4,
@@ -53,7 +53,10 @@ def storm_row(overload: float, quick: bool) -> dict:
         baseline_queries=15 if quick else 30,
         seed=7,
     )
-    report = run_overload(scenario)
+    engine_kwargs = (
+        {"bundle_dir": str(bundle_dir)} if bundle_dir is not None else None
+    )
+    report = run_overload(scenario, engine_kwargs=engine_kwargs)
     return {
         "scenario": f"storm-{overload:g}x",
         "overload": overload,
@@ -169,13 +172,23 @@ def main() -> None:
         default=Path(__file__).resolve().parent.parent
         / "BENCH_overload.json",
     )
+    parser.add_argument(
+        "--bundle-dir",
+        type=Path,
+        default=None,
+        help="capture flight-recorder debug bundles (brownout entry, "
+        "breaker trips, ...) into this directory during the storms",
+    )
     args = parser.parse_args()
     if not args.out.parent.is_dir():
         parser.error(f"--out directory does not exist: {args.out.parent}")
     if any(factor <= 0 for factor in args.overloads):
         parser.error("--overloads entries must be > 0")
 
-    results = [storm_row(factor, args.quick) for factor in args.overloads]
+    results = [
+        storm_row(factor, args.quick, bundle_dir=args.bundle_dir)
+        for factor in args.overloads
+    ]
     results.append(hedge_row(args.quick))
 
     report = {

@@ -20,14 +20,22 @@ This is the regression the warm-dispatch scheduler exists to prevent —
 the pre-PR-5 pool inverted (pool=4 slower than pool=1) because every
 query paid a fresh round-trip and a cold model build.
 
+``--record-history`` appends each run's trend metrics (every ``_ms``
+and ``_qps`` field) to ``BENCH_history.jsonl``; ``--check-trend``
+gates the current artifacts against the rolling per-metric median of
+that history with suffix-specific tolerances — the perf-regression
+sentry CI runs after each benchmark step.
+
 Usage:  python benchmarks/report.py
-            [--full | --check-bench | --check-scaling [--warn-only]]
+            [--full | --check-bench | --check-scaling
+             | --record-history | --check-trend [--warn-only]]
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import statistics
 import sys
 import time
 from pathlib import Path
@@ -262,6 +270,214 @@ def check_scaling(
     return 0 if warn_only else violations
 
 
+# -- perf-regression sentry (--record-history / --check-trend) ----------
+
+#: Rolling history of benchmark runs, one JSON line per artifact per
+#: recorded run.  Committed to the repo so CI can gate against it.
+HISTORY_NAME = "BENCH_history.jsonl"
+
+#: Per-metric-suffix fractional tolerances for --check-trend.  ``_ms``
+#: metrics are lower-is-better (flag when current > baseline * 1.5 —
+#: generous enough for shared-runner noise, far below a 2x p99
+#: regression); ``_qps`` metrics are higher-is-better (flag when
+#: current < baseline * 0.7).
+DEFAULT_TREND_TOLERANCES = {"_ms": 0.5, "_qps": 0.3}
+
+#: Baselines below these floors are noise, not signal: a 0.3ms p50
+#: doubling is scheduler jitter, not a regression.
+TREND_MIN_BASELINE = {"_ms": 1.0, "_qps": 10.0}
+
+#: How many most-recent matching history entries form the rolling
+#: baseline (their per-metric median is the reference).
+DEFAULT_TREND_BASELINE_N = 5
+
+
+def _row_label(bench: str, row: dict) -> str:
+    parts = [str(bench)]
+    name = row.get("name") or row.get("scenario")
+    if name:
+        parts.append(str(name))
+    if "pool_size" in row:
+        parts.append(f"pool{row['pool_size']}")
+    if "overload" in row:
+        parts.append(f"x{row['overload']:g}")
+    return ".".join(parts)
+
+
+def _collect_trend(prefix: str, value, out: dict) -> None:
+    if isinstance(value, dict):
+        for key, sub in value.items():
+            _collect_trend(f"{prefix}.{key}", sub, out)
+        return
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return
+    if prefix.endswith("_ms") or prefix.endswith("_qps"):
+        out[prefix] = float(value)
+
+
+def trend_metrics(data: dict) -> dict:
+    """Extract the trend-gated metrics from one parsed artifact.
+
+    Returns ``{metric_label: value}`` where every label ends in
+    ``_ms`` (lower is better) or ``_qps`` (higher is better) — the
+    two suffixes with unambiguous directionality.  Nested dicts
+    (per-priority blocks, etc.) are flattened with dotted prefixes.
+    """
+    out: dict = {}
+    bench = data.get("bench", "?")
+    for row in data.get("results", []):
+        if not isinstance(row, dict):
+            continue
+        label = _row_label(bench, row)
+        for key, value in row.items():
+            _collect_trend(f"{label}.{key}", value, out)
+    return out
+
+
+def _suffix_of(metric: str) -> str:
+    return "_ms" if metric.endswith("_ms") else "_qps"
+
+
+def record_history(root: Path = REPO_ROOT) -> int:
+    """Append every current BENCH_*.json to the rolling history.
+
+    One JSON line per artifact: bench name, quick flag, a wall-clock
+    stamp, and the flat trend metrics.  Returns the number of entries
+    appended.
+    """
+    entries = []
+    for path in sorted(root.glob("BENCH_*.json")):
+        if check_bench_file(path):
+            print(f"record-history: skipping invalid {path.name}")
+            continue
+        data = json.loads(path.read_text())
+        metrics = trend_metrics(data)
+        if not metrics:
+            continue
+        entries.append(
+            {
+                "bench": data.get("bench"),
+                "quick": bool(data.get("quick")),
+                "recorded_unix": time.time(),
+                "metrics": metrics,
+            }
+        )
+    if entries:
+        with (root / HISTORY_NAME).open("a", encoding="utf-8") as fp:
+            for entry in entries:
+                fp.write(json.dumps(entry, sort_keys=True) + "\n")
+    print(
+        f"record-history: appended {len(entries)} entr"
+        f"{'y' if len(entries) == 1 else 'ies'} to {HISTORY_NAME}"
+    )
+    return len(entries)
+
+
+def load_history(root: Path = REPO_ROOT) -> list:
+    """Parse the history file; corrupt lines are skipped, not fatal."""
+    path = root / HISTORY_NAME
+    if not path.is_file():
+        return []
+    entries = []
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            entry = json.loads(line)
+        except ValueError:
+            continue
+        if isinstance(entry, dict) and isinstance(
+            entry.get("metrics"), dict
+        ):
+            entries.append(entry)
+    return entries
+
+
+def check_trend(
+    root: Path = REPO_ROOT,
+    baseline_n: int = DEFAULT_TREND_BASELINE_N,
+    warn_only: bool = False,
+    tolerances: dict = DEFAULT_TREND_TOLERANCES,
+) -> int:
+    """Gate current BENCH_*.json artifacts against the rolling baseline.
+
+    For every metric in every current artifact, the baseline is the
+    per-metric median over the last ``baseline_n`` history entries
+    with the same (bench, quick) identity.  ``_ms`` metrics fail when
+    the current value exceeds baseline * (1 + tolerance); ``_qps``
+    metrics fail when it falls below baseline * (1 - tolerance).
+    Bootstrap-safe: no history (or no matching entries, or a baseline
+    under the noise floor) is a clean pass.  Returns the number of
+    regressions (0 with ``warn_only``).
+    """
+    history = load_history(root)
+    if not history:
+        print(
+            f"check-trend: no {HISTORY_NAME} yet (bootstrap) — "
+            "nothing to gate on, passing clean"
+        )
+        return 0
+    regressions = 0
+    checked = 0
+    for path in sorted(root.glob("BENCH_*.json")):
+        if check_bench_file(path):
+            continue
+        data = json.loads(path.read_text())
+        current = trend_metrics(data)
+        matching = [
+            entry
+            for entry in history
+            if entry.get("bench") == data.get("bench")
+            and bool(entry.get("quick")) == bool(data.get("quick"))
+        ][-baseline_n:]
+        if not matching:
+            print(
+                f"check-trend: {path.name}: no matching history — "
+                "skipping (bootstrap)"
+            )
+            continue
+        for metric in sorted(current):
+            samples = [
+                entry["metrics"][metric]
+                for entry in matching
+                if isinstance(
+                    entry["metrics"].get(metric), (int, float)
+                )
+            ]
+            if not samples:
+                continue
+            baseline = statistics.median(samples)
+            suffix = _suffix_of(metric)
+            if baseline < TREND_MIN_BASELINE[suffix]:
+                continue
+            tolerance = tolerances[suffix]
+            value = current[metric]
+            checked += 1
+            if suffix == "_ms":
+                bad = value > baseline * (1.0 + tolerance)
+                direction = "above"
+                bound = baseline * (1.0 + tolerance)
+            else:
+                bad = value < baseline * (1.0 - tolerance)
+                direction = "below"
+                bound = baseline * (1.0 - tolerance)
+            if bad:
+                regressions += 1
+                status = "WARN" if warn_only else "FAIL"
+                print(
+                    f"check-trend: {status} {metric}: {value:.2f} is "
+                    f"{direction} the {'ceiling' if suffix == '_ms' else 'floor'} "
+                    f"{bound:.2f} (baseline {baseline:.2f} over "
+                    f"{len(samples)} run(s))"
+                )
+    print(
+        f"check-trend: {checked} metric(s) checked, "
+        f"{regressions} regression(s)"
+    )
+    return 0 if warn_only else regressions
+
+
 def service_summary(root: Path = REPO_ROOT) -> None:
     """Fold BENCH_service.json (if present) into the printed report."""
     path = root / "BENCH_service.json"
@@ -445,14 +661,35 @@ def main() -> None:
         "pool before --check-scaling flags it (default 0.15)",
     )
     parser.add_argument(
+        "--record-history",
+        action="store_true",
+        help=f"append every current BENCH_*.json to {HISTORY_NAME} "
+        "and exit",
+    )
+    parser.add_argument(
+        "--check-trend",
+        action="store_true",
+        help="gate current BENCH_*.json metrics against the rolling "
+        f"{HISTORY_NAME} baseline and exit (non-zero on regression)",
+    )
+    parser.add_argument(
+        "--trend-baseline",
+        type=int,
+        default=DEFAULT_TREND_BASELINE_N,
+        help="history entries per (bench, quick) forming the rolling "
+        f"baseline median (default {DEFAULT_TREND_BASELINE_N})",
+    )
+    parser.add_argument(
         "--warn-only",
         action="store_true",
-        help="with --check-scaling: report violations but exit 0 "
-        "(for noisy CI runners)",
+        help="with --check-scaling / --check-trend: report violations "
+        "but exit 0 (for noisy CI runners)",
     )
     args = parser.parse_args()
     if not 0.0 <= args.scaling_tolerance < 1.0:
         parser.error("--scaling-tolerance must be in [0, 1)")
+    if args.trend_baseline < 1:
+        parser.error("--trend-baseline must be >= 1")
     if args.check_bench:
         sys.exit(1 if check_bench_files() else 0)
     if args.check_scaling:
@@ -460,6 +697,18 @@ def main() -> None:
             1
             if check_scaling(
                 tolerance=args.scaling_tolerance,
+                warn_only=args.warn_only,
+            )
+            else 0
+        )
+    if args.record_history:
+        record_history()
+        sys.exit(0)
+    if args.check_trend:
+        sys.exit(
+            1
+            if check_trend(
+                baseline_n=args.trend_baseline,
                 warn_only=args.warn_only,
             )
             else 0

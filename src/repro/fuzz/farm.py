@@ -39,6 +39,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.budget import Budget
+from ..obs.recorder import RECORDER
 from .artifact import (
     artifact_path,
     build_artifact,
@@ -250,6 +251,20 @@ def run_farm(
                     result.artifact_paths.append(
                         artifact_path(artifact_dir, artifact)
                     )
+                # New finding: freeze a flight-recorder debug bundle
+                # next to the repro artifact (the operational context
+                # — metrics, recent attempts — the artifact lacks).
+                RECORDER.trigger(
+                    "fuzz_finding",
+                    detail="/".join(signature),
+                    bundle_dir=artifact_dir,
+                    context={
+                        "scenario_index": index,
+                        "scenario_kind": data["kind"],
+                        "seed": config.seed,
+                        "detail": report.detail,
+                    },
+                )
                 if result.failed >= config.max_failures:
                     result.truncated = True
                     say(

@@ -1,0 +1,209 @@
+"""Declarative SLO specs with multi-window burn-rate evaluation.
+
+An :class:`SLOSpec` states an objective over a sliding window:
+
+- ``latency``    — fraction of requests slower than ``objective``
+  seconds must stay under ``budget_fraction``.
+- ``error_rate`` — fraction of failed requests must stay under
+  ``objective``.
+- ``goodput``    — successful requests per second must stay at or
+  above ``objective`` (a floor, evaluated only when there is traffic).
+
+:class:`SLOMonitor` follows the multi-window burn-rate pattern: each
+spec is tracked over a slow window (``window_s``) and a fast window
+(``fast_window_s``); an alert fires only when *both* windows burn
+faster than ``burn_threshold`` — the slow window filters blips, the
+fast window confirms the problem is still happening.  Alerts are
+edge-triggered structured events (``slo_burn`` / ``slo_recovered``)
+suitable for flight-recorder capture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .rolling import RollingCounter
+
+__all__ = ["SLOSpec", "SLOMonitor", "DEFAULT_SLOS"]
+
+_KINDS = ("latency", "error_rate", "goodput")
+
+
+@dataclass(frozen=True)
+class SLOSpec:
+    """One service-level objective."""
+
+    name: str
+    kind: str
+    objective: float
+    budget_fraction: float = 0.01
+    window_s: float = 60.0
+    fast_window_s: float = 5.0
+    burn_threshold: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(
+                f"kind must be one of {_KINDS}, got {self.kind!r}"
+            )
+        if self.objective <= 0:
+            raise ValueError("objective must be positive")
+        if not 0.0 < self.budget_fraction < 1.0:
+            raise ValueError("budget_fraction must be in (0, 1)")
+        if self.fast_window_s > self.window_s:
+            raise ValueError("fast_window_s must be <= window_s")
+        if self.burn_threshold <= 0:
+            raise ValueError("burn_threshold must be positive")
+
+
+# A sensible default set for the query service; engines opt in via the
+# ``slos=`` keyword.
+DEFAULT_SLOS: Tuple[SLOSpec, ...] = (
+    SLOSpec(name="p99_latency", kind="latency", objective=5.0,
+            budget_fraction=0.01),
+    SLOSpec(name="error_rate", kind="error_rate", objective=0.05),
+)
+
+
+class _SpecState:
+    __slots__ = ("spec", "fast", "slow", "burning", "alerts")
+
+    def __init__(self, spec: SLOSpec) -> None:
+        self.spec = spec
+        self.fast = _WindowPair(spec.fast_window_s)
+        self.slow = _WindowPair(spec.window_s)
+        self.burning = False
+        self.alerts = 0
+
+
+class _WindowPair:
+    """total / bad / good rolling counters over one window."""
+
+    __slots__ = ("total", "bad", "good")
+
+    def __init__(self, window_s: float) -> None:
+        slots = max(4, min(20, int(window_s)))
+        self.total = RollingCounter(window_s, slots)
+        self.bad = RollingCounter(window_s, slots)
+        self.good = RollingCounter(window_s, slots)
+
+
+class SLOMonitor:
+    """Evaluates a set of SLO specs against an observation stream."""
+
+    def __init__(self, specs: Sequence[SLOSpec] = DEFAULT_SLOS) -> None:
+        names = [s.name for s in specs]
+        if len(names) != len(set(names)):
+            raise ValueError("SLO names must be unique")
+        self._states = [_SpecState(spec) for spec in specs]
+
+    @property
+    def specs(self) -> List[SLOSpec]:
+        return [state.spec for state in self._states]
+
+    def observe(self, ok: bool, latency_s: float, now: float) -> None:
+        for state in self._states:
+            spec = state.spec
+            if spec.kind == "latency":
+                bad = ok and latency_s > spec.objective
+            elif spec.kind == "error_rate":
+                bad = not ok
+            else:  # goodput
+                bad = not ok
+            for windows in (state.fast, state.slow):
+                windows.total.add(now)
+                if bad:
+                    windows.bad.add(now)
+                if ok:
+                    windows.good.add(now)
+
+    def _burn(self, state: _SpecState, windows: _WindowPair,
+              now: float) -> Optional[float]:
+        """Burn rate for one window, or None when there is no signal."""
+        spec = state.spec
+        if spec.kind == "goodput":
+            total = windows.total.total(now)
+            if total == 0:
+                return None
+            rate = windows.good.rate(now)
+            if rate >= spec.objective:
+                return 0.0
+            # How far below the floor, scaled so "half the floor" is a
+            # burn of 2.0 (symmetric with the fraction-based kinds).
+            return spec.objective / max(rate, 1e-9)
+        total = windows.total.total(now)
+        if total == 0:
+            return None
+        bad_fraction = windows.bad.total(now) / total
+        budget = (
+            spec.objective if spec.kind == "error_rate"
+            else spec.budget_fraction
+        )
+        return bad_fraction / budget
+
+    def evaluate(self, now: float) -> List[Dict[str, object]]:
+        """Edge-triggered burn/recover events since the last call."""
+        events: List[Dict[str, object]] = []
+        for state in self._states:
+            fast = self._burn(state, state.fast, now)
+            slow = self._burn(state, state.slow, now)
+            threshold = state.spec.burn_threshold
+            burning = (
+                fast is not None
+                and slow is not None
+                and fast >= threshold
+                and slow >= threshold
+            )
+            if burning and not state.burning:
+                state.burning = True
+                state.alerts += 1
+                events.append({
+                    "kind": "slo_burn",
+                    "slo": state.spec.name,
+                    "slo_kind": state.spec.kind,
+                    "objective": state.spec.objective,
+                    "burn_fast": round(fast, 4),
+                    "burn_slow": round(slow, 4),
+                    "at": now,
+                })
+            elif state.burning and not burning:
+                state.burning = False
+                events.append({
+                    "kind": "slo_recovered",
+                    "slo": state.spec.name,
+                    "slo_kind": state.spec.kind,
+                    "burn_fast": round(fast, 4) if fast is not None else None,
+                    "burn_slow": round(slow, 4) if slow is not None else None,
+                    "at": now,
+                })
+        return events
+
+    def state(self, now: float) -> List[Dict[str, object]]:
+        """Current per-spec burn state for status rendering."""
+        out = []
+        for state in self._states:
+            fast = self._burn(state, state.fast, now)
+            slow = self._burn(state, state.slow, now)
+            out.append({
+                "name": state.spec.name,
+                "kind": state.spec.kind,
+                "objective": state.spec.objective,
+                "burn_fast": round(fast, 4) if fast is not None else None,
+                "burn_slow": round(slow, 4) if slow is not None else None,
+                "burning": state.burning,
+                "alerts": state.alerts,
+            })
+        return out
+
+    # Shared counter protocol.
+    def snapshot(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for state in self._states:
+            out[f"slo.{state.spec.name}.burning"] = int(state.burning)
+            out[f"slo.{state.spec.name}.alerts"] = state.alerts
+        return out
+
+    def reset_counters(self) -> None:
+        for state in self._states:
+            state.alerts = 0

@@ -125,7 +125,8 @@ class AdmissionController:
         with self._lock:
             return sum(self._counts.values()) / self.max_depth
 
-    def snapshot(self) -> Dict[str, object]:
+    def detail(self) -> Dict[str, object]:
+        """Rich nested view for ``overload_stats()`` and status pages."""
         with self._lock:
             depth = sum(self._counts.values())
             return {
@@ -139,6 +140,44 @@ class AdmissionController:
                 "rejected": dict(self.rejected),
                 "limits": {p: self.limit_for(p) for p in PRIORITIES},
             }
+
+    # Shared counter protocol (snapshot/delta/reset_counters) — flat
+    # numeric view so MetricsRegistry.absorb() and the flight recorder
+    # can fold admission state in with every other counter source.
+    def snapshot(self) -> Dict[str, float]:
+        with self._lock:
+            out: Dict[str, float] = {
+                "depth": float(sum(self._counts.values())),
+            }
+            for priority in PRIORITIES:
+                out[f"in_flight.{priority}"] = float(
+                    self._counts[priority]
+                )
+                out[f"admitted.{priority}"] = float(
+                    self.admitted[priority]
+                )
+                out[f"rejected.{priority}"] = float(
+                    self.rejected[priority]
+                )
+            if self.max_depth:
+                out["utilization"] = out["depth"] / self.max_depth
+            else:
+                out["utilization"] = 0.0
+            return out
+
+    def delta(
+        self, before: Dict[str, float], after: Dict[str, float]
+    ) -> Dict[str, float]:
+        return {
+            key: after.get(key, 0.0) - before.get(key, 0.0)
+            for key in set(before) | set(after)
+        }
+
+    def reset_counters(self) -> None:
+        with self._lock:
+            for priority in PRIORITIES:
+                self.admitted[priority] = 0
+                self.rejected[priority] = 0
 
     # -- admission -------------------------------------------------------
 
@@ -253,6 +292,8 @@ class BrownoutController:
         self._lock = threading.Lock()
         self._mode = NORMAL
         self._last_stress = -float("inf")
+        self._entered = 0
+        self._exited = 0
         #: (at, from_mode, to_mode, reason) transition log.
         self.transitions: List[Tuple[float, str, str, str]] = []
 
@@ -275,6 +316,7 @@ class BrownoutController:
                         else f"utilization {utilization:.2f}"
                     )
                     self._mode = BROWNOUT
+                    self._entered += 1
                     self.transitions.append(
                         (now, NORMAL, BROWNOUT, reason)
                     )
@@ -284,6 +326,7 @@ class BrownoutController:
                 and now - self._last_stress >= self.window_s
             ):
                 self._mode = NORMAL
+                self._exited += 1
                 self.transitions.append(
                     (
                         now,
@@ -294,7 +337,8 @@ class BrownoutController:
                 )
             return self._mode
 
-    def snapshot(self) -> Dict[str, object]:
+    def detail(self) -> Dict[str, object]:
+        """Rich nested view for ``overload_stats()`` and status pages."""
         with self._lock:
             return {
                 "mode": self._mode,
@@ -306,6 +350,28 @@ class BrownoutController:
                     for at, frm, to, reason in self.transitions
                 ],
             }
+
+    # Shared counter protocol.
+    def snapshot(self) -> Dict[str, float]:
+        with self._lock:
+            return {
+                "browned_out": float(self._mode == BROWNOUT),
+                "entered": float(self._entered),
+                "exited": float(self._exited),
+            }
+
+    def delta(
+        self, before: Dict[str, float], after: Dict[str, float]
+    ) -> Dict[str, float]:
+        return {
+            key: after.get(key, 0.0) - before.get(key, 0.0)
+            for key in set(before) | set(after)
+        }
+
+    def reset_counters(self) -> None:
+        with self._lock:
+            self._entered = 0
+            self._exited = 0
 
 
 class HedgeTracker:
@@ -342,10 +408,12 @@ class HedgeTracker:
         self.min_delay_s = min_delay_s
         self.fixed_delay_s = fixed_delay_s
         self._samples: Deque[float] = deque(maxlen=maxlen)
+        self._observed = 0
 
     def observe(self, elapsed_s: float) -> None:
         if elapsed_s >= 0:
             self._samples.append(elapsed_s)
+            self._observed += 1
 
     def __len__(self) -> int:
         return len(self._samples)
@@ -372,3 +440,24 @@ class HedgeTracker:
         if p is None:
             return None
         return max(self.min_delay_s, p * self.factor)
+
+    # Shared counter protocol.
+    def snapshot(self) -> Dict[str, float]:
+        delay = self.delay()
+        return {
+            "observed": float(self._observed),
+            "samples": float(len(self._samples)),
+            "armed": float(delay is not None),
+            "delay_s": float(delay) if delay is not None else 0.0,
+        }
+
+    def delta(
+        self, before: Dict[str, float], after: Dict[str, float]
+    ) -> Dict[str, float]:
+        return {
+            key: after.get(key, 0.0) - before.get(key, 0.0)
+            for key in set(before) | set(after)
+        }
+
+    def reset_counters(self) -> None:
+        self._observed = 0

@@ -118,16 +118,23 @@ from ..errors import (
     ZenServiceError,
     ZenTypeError,
 )
+from ..obs.recorder import RECORDER, FlightRecorder
+from ..obs.rolling import LOG_BOUNDS, RollingHistogram
+from ..obs.slo import SLOMonitor, SLOSpec
+from ..obs.status import EngineStatus, write_status_file
 from ..telemetry.metrics import METRICS
 from ..telemetry.profile import QueryProfile, profile_from_spans
 from ..telemetry.spans import TRACER, Span, span
 from .admission import (
     BROWNOUT,
+    NORMAL,
+    PRIORITIES,
     PRIORITY_RANK,
     AdmissionController,
     BrownoutController,
     HedgeTracker,
 )
+from .breaker import OPEN as BREAKER_OPEN
 from .breaker import CircuitBreaker
 from .cache import ref_cache_key
 from .spec import QuerySpec, clamp_spec_deadline
@@ -480,6 +487,12 @@ class QueryEngine:
         hedge_quantile: float = 0.95,
         hedge_factor: float = 1.5,
         hedge_min_samples: int = 10,
+        recorder: Optional[FlightRecorder] = None,
+        bundle_dir: Optional[str] = None,
+        slos: Optional[Sequence[SLOSpec]] = None,
+        status_file: Optional[str] = None,
+        status_interval_s: float = 1.0,
+        latency_window_s: float = 60.0,
         clock: Callable[[], float] = time.monotonic,
         sleep: Callable[[float], None] = time.sleep,
     ):
@@ -601,6 +614,7 @@ class QueryEngine:
         )
         self._shed_count = 0
         self._observed_sheds = 0
+        self._observed_mode = NORMAL
         self._expired_count = 0
         self._cancelled_count = 0
         self._shutdown_failed_count = 0
@@ -609,6 +623,28 @@ class QueryEngine:
         #: replies whose cache was consulted) — the brownout fast path
         #: keeps serving these while cold builds are shed.
         self._warm_refs: set = set()
+        # -- operational observability (repro.obs) -----------------------
+        if status_interval_s <= 0:
+            raise ZenTypeError(
+                f"status_interval_s must be > 0, got {status_interval_s!r}"
+            )
+        if latency_window_s <= 0:
+            raise ZenTypeError(
+                f"latency_window_s must be > 0, got {latency_window_s!r}"
+            )
+        self._recorder = recorder if recorder is not None else RECORDER
+        self.bundle_dir = bundle_dir
+        self.status_file = status_file
+        self.status_interval_s = status_interval_s
+        self._status_written_at = -float("inf")
+        self._pool_busy = 0
+        self._latency_windows = {
+            p: RollingHistogram(latency_window_s) for p in PRIORITIES
+        }
+        self._latency_hist = METRICS.histogram(
+            "service.latency_s", LOG_BOUNDS
+        )
+        self._slo = SLOMonitor(slos) if slos else None
 
     # -- lifecycle -------------------------------------------------------
 
@@ -738,20 +774,32 @@ class QueryEngine:
         """
         return self._brownout.observe(self._admission.utilization(), 0)
 
+    def _absorb_overload_metrics(self) -> None:
+        """Fold the admission/brownout/hedge silos into METRICS.
+
+        All three speak the shared ``snapshot()`` counter protocol, so
+        their state shows up in ``METRICS.snapshot()`` (and therefore
+        in flight-recorder bundles) under stable gauge names.
+        """
+        METRICS.absorb("service.admission", self._admission)
+        METRICS.absorb("service.brownout", self._brownout)
+        METRICS.absorb("service.hedge_delay", self._hedge_tracker)
+
     def overload_stats(self) -> Dict[str, Any]:
         """Admission, shedding, deadline, and brownout counters."""
         launched = self._hedges["launched"]
+        self._absorb_overload_metrics()
         return {
             "mode": self.mode,
             "queue_depth": self._admission.depth(),
             "utilization": self._admission.utilization(),
             "shed_threshold": self.shed_threshold,
-            "admission": self._admission.snapshot(),
+            "admission": self._admission.detail(),
             "shed_overload": self._shed_count,
             "deadline_expired": self._expired_count,
             "cancelled": self._cancelled_count,
             "engine_shutdown": self._shutdown_failed_count,
-            "brownout": self._brownout.snapshot(),
+            "brownout": self._brownout.detail(),
             "hedge": {
                 **self._hedges,
                 "enabled": self.hedge_enabled,
@@ -762,6 +810,77 @@ class QueryEngine:
                 ),
             },
         }
+
+    @property
+    def recorder(self) -> FlightRecorder:
+        """The flight recorder this engine feeds (shared by default)."""
+        return self._recorder
+
+    def debug_bundles(self) -> List[str]:
+        """Paths of the debug bundles captured so far (oldest first)."""
+        return self._recorder.bundle_paths()
+
+    def status(self, now: Optional[float] = None) -> EngineStatus:
+        """One self-contained operational snapshot (see ``repro.obs``).
+
+        Safe to call from any thread; with ``status_file=`` configured
+        the dispatcher also writes one on a cadence so
+        ``python -m repro.obs status`` works from another process.
+        """
+        at = now if now is not None else self._clock()
+        admission = self._admission.detail()
+        cache = self.cache_stats()
+        launched = self._hedges["launched"]
+        self._absorb_overload_metrics()
+        return EngineStatus(
+            generated_unix=time.time(),
+            pid=os.getpid(),
+            pool_size=self.pool_size,
+            pool_busy=self._pool_busy,
+            workers=[p for p in self.worker_pids() if p is not None],
+            mode=self.mode,
+            queue={
+                "depth": admission["depth"],
+                "max_depth": admission["max_depth"],
+                "utilization": admission["utilization"],
+                "in_flight": admission["in_flight"],
+                "limits": admission["limits"],
+            },
+            latency_ms={
+                priority: window.summary(at)
+                for priority, window in self._latency_windows.items()
+            },
+            cache={
+                "hits": cache["hit"],
+                "misses": cache["miss"],
+                "evictions": cache["evict"],
+                "hit_rate": cache["hit_rate"],
+            },
+            breakers={
+                name: breaker.state
+                for name, breaker in self._breakers.items()
+            },
+            hedge={
+                **self._hedges,
+                "enabled": self.hedge_enabled,
+                "delay_s": self._hedge_tracker.delay(),
+                "win_rate": (
+                    self._hedges["won"] / launched if launched else 0.0
+                ),
+            },
+            slo=self._slo.state(at) if self._slo is not None else [],
+            counters={
+                "shed_overload": float(self._shed_count),
+                "deadline_expired": float(self._expired_count),
+                "cancelled": float(self._cancelled_count),
+                "engine_shutdown": float(self._shutdown_failed_count),
+                "restarts": float(self.total_restarts()),
+                **{
+                    f"recorder.{key}": float(value)
+                    for key, value in self._recorder.snapshot().items()
+                },
+            },
+        )
 
     def invalidate_cache(self) -> int:
         """Advance the cache epoch, flushing every worker's warm cache.
@@ -976,6 +1095,19 @@ class QueryEngine:
             answers = {t.ladder[0]: t.result.answer for t in tasks}
             verdicts = {b: a is not None for b, a in answers.items()}
             if len(set(verdicts.values())) > 1:
+                self._obs_trigger(
+                    "backend_disagreement",
+                    detail=", ".join(
+                        f"{b}={'sat' if v else 'unsat'}"
+                        for b, v in sorted(verdicts.items())
+                    ),
+                    extra={
+                        "verdicts": dict(verdicts),
+                        "labels": {
+                            b: s.label for b, s in sides.items()
+                        },
+                    },
+                )
                 raise ZenBackendDisagreement(
                     "differential oracle: backends disagree on "
                     f"satisfiability ({verdicts}); each side passed its "
@@ -1026,6 +1158,7 @@ class QueryEngine:
         wait_timeout_s: Optional[float] = None,
     ) -> None:
         """Claim one admission slot for ``spec`` or raise ZenQueueFull."""
+        start = self._clock()
         try:
             self._admission.admit(
                 spec.priority,
@@ -1035,7 +1168,21 @@ class QueryEngine:
             )
         except ZenServiceError:
             METRICS.counter("service.admission.reject").inc()
+            self._recorder.record_event(
+                "admission_reject", priority=spec.priority,
+                label=spec.label,
+            )
             raise
+        waited = self._clock() - start
+        if TRACER.enabled and waited >= _QUEUE_WAIT_SPAN_FLOOR_S:
+            # Retroactive span: blocking admission happened on the
+            # caller's thread, inside its open run_many/submit span.
+            TRACER.record(
+                "service.admission_wait",
+                TRACER.now_wall() - waited,
+                waited,
+                {"priority": spec.priority, "label": spec.label},
+            )
 
     def _ladder(self, spec: QuerySpec, fallback: bool) -> List[str]:
         if not fallback:
@@ -1069,6 +1216,49 @@ class QueryEngine:
         if task.admitted:
             task.admitted = False
             self._admission.release(task.spec.priority)
+            self._observe_completion(task, now)
+
+    def _observe_completion(self, task: _Task, now: float) -> None:
+        """Feed one finished task to the obs layer (exactly once).
+
+        This is the always-on per-query cost of the flight recorder
+        and rolling windows: one deque append, one histogram observe,
+        one SLO sample — measured in bench_micro_bdd's telemetry row.
+        """
+        ok = task.result is not None
+        started = (
+            task.started_at
+            if task.started_at is not None
+            else (task.enqueued_at or now)
+        )
+        latency = max(0.0, now - started)
+        window = self._latency_windows.get(task.spec.priority)
+        if window is not None:
+            window.observe(now, latency)
+        self._latency_hist.labels(priority=task.spec.priority).observe(
+            latency
+        )
+        if self._slo is not None:
+            self._slo.observe(ok, latency, now)
+        last = task.attempts[-1] if task.attempts else None
+        self._recorder.record_attempt(
+            {
+                "spec": task.spec.label or task.ref_key,
+                "kind": task.spec.kind,
+                "priority": task.spec.priority,
+                "ok": ok,
+                "outcome": (
+                    last.outcome
+                    if last is not None
+                    else ("ok" if ok else "unknown")
+                ),
+                "backend": task.backend,
+                "latency_s": round(latency, 6),
+                "queue_wait_s": round(task.total_queue_wait_s, 6),
+                "attempts": len(task.attempts),
+                "at": now,
+            }
+        )
 
     @staticmethod
     def _attach_trace(tasks: Sequence[_Task], sp: Any) -> None:
@@ -1152,9 +1342,16 @@ class QueryEngine:
                     self._observe_mode()
                     self._fill_workers(pending, inflight, now)
                     self._launch_hedges(inflight, self._clock())
+                self._pool_busy = len(inflight)
+                self._obs_tick(self._clock())
                 timeout = self._wait_timeout(
                     pending, inflight, self._clock(), state["draining"]
                 )
+                if self.status_file is not None or self._slo is not None:
+                    # Keep the status file fresh and SLO recovery
+                    # observable even while the pool sits idle.
+                    cap = max(0.05, self.status_interval_s)
+                    timeout = cap if timeout is None else min(timeout, cap)
                 waitables: List[Any] = [
                     h.conn for h in inflight if h.conn is not None
                 ]
@@ -1408,6 +1605,24 @@ class QueryEngine:
         self._shed_count += 1
         METRICS.counter("service.shed.overload").inc()
         utilization = self._admission.utilization()
+        if TRACER.enabled:
+            TRACER.record(
+                "service.shed",
+                TRACER.now_wall(),
+                0.0,
+                {
+                    "priority": task.spec.priority,
+                    "reason": reason,
+                    "utilization": round(utilization, 3),
+                },
+                parent=task.trace_parent,
+            )
+        self._recorder.record_event(
+            "shed",
+            priority=task.spec.priority,
+            reason=reason,
+            utilization=round(utilization, 3),
+        )
         task.attempts.append(
             AttemptRecord(
                 backend=task.backend,
@@ -1439,11 +1654,113 @@ class QueryEngine:
         """Feed the brownout controller one dispatch-loop sample."""
         sheds = self._shed_count - self._observed_sheds
         self._observed_sheds = self._shed_count
-        before = self._brownout.mode
-        mode = self._brownout.observe(self._admission.utilization(), sheds)
-        if mode != before:
+        utilization = self._admission.utilization()
+        mode = self._brownout.observe(utilization, sheds)
+        # Compare against the last mode *this* loop acted on, not the
+        # controller's pre-observe state: the ``mode`` property also
+        # feeds the controller, so a status() or chaos-harness read
+        # from another thread can consume the raw transition edge.
+        if mode != self._observed_mode:
+            self._observed_mode = mode
             METRICS.counter(f"service.brownout.{mode}").inc()
+            edge = "enter" if mode == BROWNOUT else "exit"
+            if TRACER.enabled:
+                TRACER.record(
+                    f"service.brownout.{edge}",
+                    TRACER.now_wall(),
+                    0.0,
+                    {
+                        "utilization": round(utilization, 3),
+                        "sheds": sheds,
+                    },
+                )
+            self._recorder.record_event(
+                f"brownout_{edge}",
+                utilization=round(utilization, 3),
+                sheds=sheds,
+            )
+            if mode == BROWNOUT:
+                self._obs_trigger(
+                    "brownout",
+                    detail=(
+                        f"utilization={utilization:.2f} sheds={sheds}"
+                    ),
+                )
         return mode
+
+    # -- operational observability (repro.obs) ---------------------------
+
+    def _obs_tick(self, now: float) -> None:
+        """Periodic obs work on the dispatcher thread.
+
+        Evaluates the SLO monitor (burn alerts become structured
+        events and can trigger bundle capture) and refreshes the
+        cross-process status file on its cadence.
+        """
+        if self._slo is not None:
+            for event in self._slo.evaluate(now):
+                kind = str(event.pop("kind"))
+                self._recorder.record_event(kind, **event)
+                if kind == "slo_burn":
+                    self._obs_trigger(
+                        "slo_burn",
+                        detail=str(event.get("slo")),
+                        extra={"slo_event": event},
+                    )
+        if (
+            self.status_file is not None
+            and now - self._status_written_at >= self.status_interval_s
+        ):
+            self._status_written_at = now
+            try:
+                write_status_file(self.status_file, self.status(now=now))
+            except OSError:  # pragma: no cover - disk trouble must not
+                pass  # kill the dispatcher
+
+    def _obs_trigger(
+        self,
+        cause: str,
+        detail: str = "",
+        *,
+        extra: Optional[Dict[str, Any]] = None,
+    ) -> Optional[str]:
+        """Record an operational trigger; capture a debug bundle.
+
+        Bundles are only written when the engine was configured with
+        ``bundle_dir=``; the trigger event lands in the flight
+        recorder's ring either way.  Per-cause cooldown and bundle-dir
+        pruning live in the recorder.
+        """
+        context = self._bundle_context()
+        if extra:
+            context.update(extra)
+        return self._recorder.trigger(
+            cause,
+            detail,
+            context=context,
+            bundle_dir=self.bundle_dir,
+            now=self._clock(),
+        )
+
+    def _bundle_context(self) -> Dict[str, Any]:
+        """Engine config + live state frozen into a debug bundle."""
+        return {
+            "engine": {
+                "pool_size": self.pool_size,
+                "retries": self.retries,
+                "backends": list(self.backends),
+                "max_batch_size": self.max_batch_size,
+                "crash_loop_threshold": self.crash_loop_threshold,
+                "cache_capacity": self.cache_capacity,
+                "hedge_enabled": self.hedge_enabled,
+                "shed_threshold": self.shed_threshold,
+            },
+            "overload": self.overload_stats(),
+            "cache": self.cache_stats(),
+            "dispatch": self.dispatch_stats(),
+            "breakers": self.breaker_snapshots(),
+            "worker_pids": self.worker_pids(),
+        }
 
     # -- hedged requests -------------------------------------------------
 
@@ -1528,6 +1845,22 @@ class QueryEngine:
         inflight[handle] = batch
         self._hedges["launched"] += 1
         METRICS.counter("service.hedge.launched").inc()
+        if TRACER.enabled:
+            TRACER.record(
+                "service.hedge.launch",
+                TRACER.now_wall(),
+                0.0,
+                {
+                    "backend": task.backend,
+                    "primary_elapsed_s": round(now - task.submitted_at, 4),
+                },
+                parent=task.trace_parent,
+            )
+        self._recorder.record_event(
+            "hedge_launch",
+            backend=task.backend,
+            label=task.spec.label,
+        )
 
     def _settle_hedge(
         self, task, winner_batch, pending, inflight, now
@@ -1544,6 +1877,19 @@ class QueryEngine:
         METRICS.counter(
             "service.hedge.won" if won else "service.hedge.lost"
         ).inc()
+        if TRACER.enabled:
+            TRACER.record(
+                "service.hedge.won" if won else "service.hedge.lost",
+                TRACER.now_wall(),
+                0.0,
+                {"backend": task.backend},
+                parent=task.trace_parent,
+            )
+        self._recorder.record_event(
+            "hedge_won" if won else "hedge_lost",
+            backend=task.backend,
+            label=task.spec.label,
+        )
         for handle, other in list(inflight.items()):
             if other is winner_batch or other.exhausted:
                 continue
@@ -1664,6 +2010,13 @@ class QueryEngine:
                         "attempts until it succeeds elsewhere"
                     ),
                 )
+            )
+            # Capture the bundle before resolving the future: a caller
+            # reacting to the failure must already see the bundle.
+            self._obs_trigger(
+                "crash_loop",
+                detail=task.ref_key,
+                extra={"crash_count": count},
             )
             self._finish_failure(task, now)
             return None
@@ -1929,6 +2282,7 @@ class QueryEngine:
                 # condense it into the result's profile.
                 for tree in worker_spans:
                     TRACER.adopt(tree, parent=task.trace_parent)
+                    self._recorder.record_span(tree)
                 profile = profile_from_spans(
                     worker_spans,
                     query=f"query.{task.spec.kind}",
@@ -2200,7 +2554,14 @@ class QueryEngine:
     ):
         backend = task.backend
         breaker = self._breakers[backend]
+        state_before = breaker.state
         breaker.record_failure(outcome)
+        if breaker.state == BREAKER_OPEN and state_before != BREAKER_OPEN:
+            self._obs_trigger(
+                "breaker_open",
+                detail=backend,
+                extra={"breaker": breaker.snapshot()},
+            )
         attempt_number = task.attempt + 1
         backoff = 0.0
         deadline_blocked = False
@@ -2241,6 +2602,19 @@ class QueryEngine:
                 queue_wait_s=task.queue_wait_s,
                 breaker_state=breaker.state,
             )
+        )
+        self._recorder.record_attempt(
+            {
+                "spec": task.spec.label or task.ref_key,
+                "priority": task.spec.priority,
+                "outcome": outcome,
+                "backend": backend,
+                "attempt": attempt_number,
+                "error_type": error_type,
+                "pid": pid,
+                "elapsed_s": round(duration, 6),
+                "at": now,
+            }
         )
         if TRACER.enabled:
             # Failed attempts ship no worker span tree (the reply is an

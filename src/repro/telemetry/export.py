@@ -20,6 +20,7 @@ tests and programmatic inspection.
 from __future__ import annotations
 
 import json
+import threading
 from typing import Any, Dict, IO, Iterable, Iterator, List, Union
 
 from .spans import Span, Tracer, TRACER
@@ -60,14 +61,29 @@ def span_events(roots: Iterable[SpanLike]) -> Iterator[Dict[str, Any]]:
             yield node
 
 
+# Serializes concurrent write_jsonl calls within this process.  A
+# buffered text stream's write() is not atomic once the payload spills
+# the buffer, so without this two threads sharing one log stream can
+# interleave mid-line or even lose a flushed block outright.
+_JSONL_LOCK = threading.Lock()
+
+
 def write_jsonl(roots: Iterable[SpanLike], fp: IO[str]) -> int:
-    """Write one JSON line per span; returns the number of lines."""
-    count = 0
-    for event in span_events(roots):
-        fp.write(json.dumps(event, sort_keys=True, default=str))
-        fp.write("\n")
-        count += 1
-    return count
+    """Write one JSON line per span; returns the number of lines.
+
+    Serialization happens outside the lock; the stream write is one
+    locked call, so concurrent writers sharing one stream (pool
+    workers appending to a common log) interleave at block granularity
+    and every line stays parseable.
+    """
+    lines = [
+        json.dumps(event, sort_keys=True, default=str)
+        for event in span_events(roots)
+    ]
+    if lines:
+        with _JSONL_LOCK:
+            fp.write("\n".join(lines) + "\n")
+    return len(lines)
 
 
 def chrome_trace_events(roots: Iterable[SpanLike]) -> List[Dict[str, Any]]:

@@ -139,17 +139,53 @@ class TestAdmissionController:
             ctl.admit("interactive", wait=True, abort=lambda: True)
         assert "engine closing" in str(excinfo.value)
 
-    def test_snapshot_shape(self):
+    def test_detail_shape(self):
         ctl = AdmissionController(max_depth=4)
         ctl.try_admit("interactive")
         ctl.try_admit("fuzz")
-        snap = ctl.snapshot()
+        snap = ctl.detail()
         assert snap["max_depth"] == 4
         assert snap["depth"] == 2
         assert snap["utilization"] == pytest.approx(0.5)
         assert snap["in_flight"]["interactive"] == 1
         assert snap["admitted"]["fuzz"] == 1
         assert set(snap["limits"]) == set(PRIORITIES)
+
+    def test_counter_protocol_snapshot(self):
+        ctl = AdmissionController(max_depth=4)
+        before = ctl.snapshot()
+        ctl.try_admit("interactive")
+        ctl.try_admit("fuzz")
+        for _ in range(5):
+            ctl.try_admit("fuzz")  # over the fuzz limit: rejected
+        after = ctl.snapshot()
+        # Flat numeric dict — the shared counter protocol.
+        assert all(
+            isinstance(v, (int, float)) for v in after.values()
+        )
+        diff = ctl.delta(before, after)
+        assert diff["admitted.interactive"] == 1
+        # fuzz limit at depth 4 is 3 shared slots: two fuzz admits fit
+        # behind the interactive task, the rest are rejected.
+        assert diff["admitted.fuzz"] == 2
+        assert diff["rejected.fuzz"] == 4
+        ctl.reset_counters()
+        reset = ctl.snapshot()
+        assert reset["admitted.interactive"] == 0
+        assert reset["rejected.fuzz"] == 0
+        # In-flight occupancy is state, not a counter: it survives.
+        assert reset["depth"] == 3
+
+    def test_absorbs_into_metrics_registry(self):
+        from repro.telemetry.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        ctl = AdmissionController(max_depth=4)
+        ctl.try_admit("batch")
+        registry.absorb("service.admission", ctl)
+        snap = registry.snapshot()
+        assert snap["service.admission.admitted.batch"] == 1
+        assert snap["service.admission.depth"] == 1
 
     def test_invalid_parameters(self):
         with pytest.raises(ValueError):
@@ -220,14 +256,32 @@ class TestBrownoutController:
         assert ctl.observe(0.6) == BROWNOUT
         assert ctl.observe(0.5) == NORMAL
 
-    def test_snapshot_records_transitions(self):
+    def test_detail_records_transitions(self):
         clock = FakeClock(now=5.0)
         ctl = BrownoutController(window_s=0.5, clock=clock)
         ctl.observe(0.9)
-        snap = ctl.snapshot()
+        snap = ctl.detail()
         assert snap["mode"] == BROWNOUT
         assert snap["transitions"][0]["at"] == 5.0
         assert snap["transitions"][0]["to"] == BROWNOUT
+
+    def test_counter_protocol_snapshot(self):
+        clock = FakeClock(now=5.0)
+        ctl = BrownoutController(window_s=0.5, clock=clock)
+        assert ctl.snapshot() == {
+            "browned_out": 0.0,
+            "entered": 0.0,
+            "exited": 0.0,
+        }
+        ctl.observe(0.9)
+        assert ctl.snapshot()["browned_out"] == 1.0
+        assert ctl.snapshot()["entered"] == 1.0
+        clock.advance(1.0)
+        ctl.observe(0.1)
+        snap = ctl.snapshot()
+        assert snap == {"browned_out": 0.0, "entered": 1.0, "exited": 1.0}
+        ctl.reset_counters()
+        assert ctl.snapshot()["entered"] == 0.0
 
     def test_invalid_parameters(self):
         with pytest.raises(ValueError):
@@ -271,6 +325,21 @@ class TestHedgeTracker:
         tracker = HedgeTracker(min_samples=1)
         tracker.observe(-1.0)
         assert len(tracker) == 0
+
+    def test_counter_protocol_snapshot(self):
+        tracker = HedgeTracker(min_samples=2, maxlen=4)
+        assert tracker.snapshot()["armed"] == 0.0
+        for _ in range(6):
+            tracker.observe(0.1)
+        snap = tracker.snapshot()
+        assert snap["observed"] == 6.0  # monotone, unlike the window
+        assert snap["samples"] == 4.0
+        assert snap["armed"] == 1.0
+        assert snap["delay_s"] > 0.0
+        diff = tracker.delta({"observed": 2.0}, snap)
+        assert diff["observed"] == 4.0
+        tracker.reset_counters()
+        assert tracker.snapshot()["observed"] == 0.0
 
     def test_bounded_window(self):
         tracker = HedgeTracker(min_samples=1, maxlen=10)

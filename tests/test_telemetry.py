@@ -4,6 +4,7 @@ the shared counter protocol, and cross-subprocess trace propagation."""
 import json
 import os
 import threading
+import time
 
 import pytest
 
@@ -763,3 +764,235 @@ class TestWarmDispatchMetrics:
         assert moved.get("service.cache.evict", 0) >= 1
         stats = engine.cache_stats()
         assert stats["evict"] >= 1
+
+
+# ---------------------------------------------------------------------------
+# Labeled histograms: per-label children with bounded cardinality
+# ---------------------------------------------------------------------------
+
+
+class TestHistogramLabels:
+    def test_same_labels_reuse_one_child(self):
+        hist = Histogram("lat", bounds=(1.0, 10.0))
+        a = hist.labels(priority="batch")
+        b = hist.labels(priority="batch")
+        assert a is b
+        assert a.name == "lat{priority=batch}"
+        # Label order never matters: the key is sorted.
+        x = hist.labels(a="1", b="2")
+        y = hist.labels(b="2", a="1")
+        assert x is y
+
+    def test_no_labels_returns_the_parent(self):
+        hist = Histogram("lat", bounds=(1.0,))
+        assert hist.labels() is hist
+
+    def test_children_flatten_into_the_parent_snapshot(self):
+        hist = Histogram("lat", bounds=(1.0, 10.0))
+        hist.observe(0.5)
+        hist.labels(priority="interactive").observe(5.0)
+        snap = hist.snapshot()
+        assert snap["lat.count"] == 1
+        assert snap["lat{priority=interactive}.count"] == 1
+        assert snap["lat{priority=interactive}.le_10"] == 1
+        assert snap["lat.label_sets"] == 1
+        assert snap["lat.label_evictions"] == 0
+
+    def test_unlabeled_snapshot_has_no_label_keys(self):
+        # Existing exact-dict assertions elsewhere rely on this.
+        hist = Histogram("lat", bounds=(1.0,))
+        hist.observe(0.5)
+        assert "lat.label_sets" not in hist.snapshot()
+        assert "lat.label_evictions" not in hist.snapshot()
+
+    def test_cardinality_cap_evicts_least_recently_used(self):
+        hist = Histogram("lat", bounds=(1.0,), max_label_sets=2)
+        first = hist.labels(ref="a")
+        first.observe(0.5)
+        hist.labels(ref="b")
+        # Touch "a" so "b" is the LRU entry when "c" arrives.
+        assert hist.labels(ref="a") is first
+        hist.labels(ref="c")
+        assert hist.label_evictions == 1
+        snap = hist.snapshot()
+        assert "lat{ref=b}.count" not in snap
+        assert snap["lat{ref=a}.count"] == 1
+        assert snap["lat.label_sets"] == 2
+        assert snap["lat.label_evictions"] == 1
+        # A fresh "b" child starts from zero: its counts were dropped.
+        assert hist.labels(ref="b").count == 0
+        assert hist.label_evictions == 2
+
+    def test_unbounded_label_source_stays_bounded(self):
+        hist = Histogram("lat", bounds=(1.0,), max_label_sets=8)
+        for i in range(100):
+            hist.labels(ref=f"fuzz-{i}").observe(0.5)
+        snap = hist.snapshot()
+        assert snap["lat.label_sets"] == 8
+        assert snap["lat.label_evictions"] == 92
+
+    def test_reset_counters_clears_children_too(self):
+        hist = Histogram("lat", bounds=(1.0,))
+        child = hist.labels(priority="fuzz")
+        child.observe(0.5)
+        hist.reset_counters()
+        assert child.count == 0
+        assert hist.snapshot()["lat{priority=fuzz}.count"] == 0
+
+    def test_max_label_sets_validation(self):
+        with pytest.raises(ValueError):
+            Histogram("lat", bounds=(1.0,), max_label_sets=0)
+
+
+# ---------------------------------------------------------------------------
+# Perfetto export of grafted worker spans under batching
+# ---------------------------------------------------------------------------
+
+
+class TestBatchedTracePerfetto:
+    def test_one_batch_many_specs_distinct_deadlines(self, tmp_path):
+        """Three specs with different deadlines ride one batch; each
+        worker span grafts into the parent trace and the Perfetto
+        export labels the worker process."""
+        enable_tracing()
+        with QueryEngine(
+            pool_size=1, max_batch_size=8, default_timeout_s=60.0
+        ) as engine:
+            # Occupy the only worker so the three queries are all
+            # queued when it frees — the dispatcher must batch them.
+            blocker = engine.submit(
+                QuerySpec(
+                    builder="repro.service.chaos:sleep_ms",
+                    kind="call",
+                    args=(300.0,),
+                    timeout_s=30.0,
+                )
+            )
+            deadline = time.monotonic() + 10.0
+            while (
+                engine.status().pool_busy == 0
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.005)
+            assert engine.status().pool_busy == 1
+            futures = [
+                engine.submit(
+                    QuerySpec(
+                        builder="tests.service_faults:eq_model",
+                        label=f"q{i}",
+                        deadline_s=20.0 + 5.0 * i,
+                    )
+                )
+                for i in range(3)
+            ]
+            blocker.result()
+            results = engine.gather(futures)
+        from tests.service_faults import MAGIC
+
+        assert [r.answer for r in results] == [MAGIC] * 3
+        # One shared round trip: every spec reports the same batch.
+        assert {r.batch_size for r in results} == {3}
+        worker_pids = {r.worker_pid for r in results}
+        assert len(worker_pids) == 1
+
+        path = tmp_path / "batched.json"
+        assert write_chrome_trace(str(path)) > 0
+        events = load_chrome_trace(str(path))
+        complete = [e for e in events if e["ph"] == "X"]
+        tasks = [e for e in complete if e["name"] == "task.find"]
+        # One grafted span per spec, all from the same worker process,
+        # none from the parent.
+        assert len(tasks) == 3
+        assert {e["pid"] for e in tasks} == worker_pids
+        assert os.getpid() not in {e["pid"] for e in tasks}
+        # The export names the worker's process track.
+        raw = json.loads(path.read_text())["traceEvents"]
+        meta = {
+            e["pid"]: e["args"]["name"]
+            for e in raw
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        (worker_pid,) = worker_pids
+        assert meta[worker_pid] == f"worker-{worker_pid}"
+        assert meta[os.getpid()] == "parent"
+
+    def test_batch_peers_nest_inside_their_own_specs(self):
+        """Spans from batched peers never leak into each other."""
+        enable_tracing()
+        with QueryEngine(
+            pool_size=1, max_batch_size=4, default_timeout_s=60.0
+        ) as engine:
+            results = engine.run_many(
+                [
+                    QuerySpec(
+                        builder="tests.service_faults:eq_model",
+                        kind="find",
+                        label=f"q{i}",
+                    )
+                    for i in range(4)
+                ],
+                fallback=False,
+            )
+        assert all(r.answer is not None for r in results)
+        roots = TRACER.finished_roots()
+        (run_root,) = [r for r in roots if r.name == "service.run_many"]
+        tasks = [c for c in run_root.children if c.name == "task.find"]
+        assert len(tasks) == 4
+        for task in tasks:
+            names = {s["name"] for s in span_events([task.to_dict()])}
+            assert "compile.flatten" in names
+
+
+# ---------------------------------------------------------------------------
+# Concurrent JSON-lines export
+# ---------------------------------------------------------------------------
+
+
+class TestConcurrentJsonl:
+    def test_parallel_writers_emit_only_whole_lines(self, tmp_path):
+        """write_jsonl from many threads onto one handle never tears
+        or interleaves lines — each call is a single write."""
+        path = tmp_path / "concurrent.jsonl"
+        writers, spans_per_writer = 8, 25
+
+        def tree(writer: int, i: int) -> dict:
+            return {
+                "name": f"w{writer}.s{i}",
+                "start": float(i),
+                "dur": 0.5,
+                "pid": writer,
+                "tid": 1,
+                "attrs": {"writer": writer, "payload": "x" * 64},
+                "children": [],
+            }
+
+        with open(path, "w") as fp:
+            threads = [
+                threading.Thread(
+                    target=lambda w=w: write_jsonl(
+                        [tree(w, i) for i in range(spans_per_writer)], fp
+                    )
+                )
+                for w in range(writers)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        lines = path.read_text().splitlines()
+        assert len(lines) == writers * spans_per_writer
+        parsed = [json.loads(line) for line in lines]  # no torn lines
+        names = {p["name"] for p in parsed}
+        assert len(names) == writers * spans_per_writer
+        # Every writer's block arrived contiguously and in order.
+        by_writer = {}
+        for p in parsed:
+            by_writer.setdefault(p["attrs"]["writer"], []).append(p["name"])
+        for w, seen in by_writer.items():
+            assert seen == [f"w{w}.s{i}" for i in range(spans_per_writer)]
+
+    def test_empty_roots_write_nothing(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        with open(path, "w") as fp:
+            assert write_jsonl([], fp) == 0
+        assert path.read_text() == ""
