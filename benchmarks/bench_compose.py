@@ -1,0 +1,137 @@
+"""Benchmark compositional sharding against the monolithic fixpoint.
+
+For each fat-tree fabric (from ``repro.workloads.generators``) this
+measures one end-to-end host-to-host reachability query two ways:
+
+* ``monolithic_ms`` — the joint product-machine fixpoint
+  (:func:`repro.compose.monolithic_verdict`), once per topology (it
+  does not parallelize);
+* ``composed_ms`` — :func:`repro.compose.run_composed` with shard
+  summaries fanned out across a :class:`repro.service.QueryEngine`
+  pool, swept over pool sizes, plus ``recompose_ms`` (the parent-side
+  chaining share of that) and ``escalations``.
+
+``speedup`` is ``monolithic_ms / composed_ms`` and ``agreement``
+records that both paths returned the same verdict — the differential
+claim the fuzz farm checks continuously, restated under benchmark
+sizes.  The full run's headline row is the 100+-device k=8 fabric,
+where the monolith pays minutes of BDD relation work that the shards
+never build.
+
+Emits ``BENCH_compose.json``; ``benchmarks/report.py --check-scaling``
+gates on speedup staying monotone (within tolerance) in pool size,
+and ``--check-trend`` watches the ``_ms`` fields.
+
+Usage:  PYTHONPATH=src python benchmarks/bench_compose.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+from repro.compose import monolithic_verdict, run_composed
+from repro.service import QueryEngine
+from repro.workloads import fat_tree, fat_tree_hosts, fat_tree_reach_query
+
+POOL_SIZES = (1, 2, 4)
+
+
+def fabric(k: int, hosts_per_edge: int = 1):
+    """A fat-tree and the far-corner host-to-host query over it."""
+    topo = fat_tree(k, seed=2020, hosts_per_edge=hosts_per_edge)
+    hosts = fat_tree_hosts(k, hosts_per_edge)
+    query = fat_tree_reach_query(hosts[0], hosts[-1])
+    return topo, query
+
+
+def bench_topology(name: str, k: int, repeats: int) -> list:
+    topo, query = fabric(k)
+    devices = len(topo["devices"])
+    print(f"{name}: {devices} devices")
+
+    started = time.perf_counter()
+    mono = monolithic_verdict(topo, query)
+    mono_ms = (time.perf_counter() - started) * 1000.0
+    print(f"  monolith: {mono_ms:.0f} ms (reachable={mono.reachable})")
+
+    rows = []
+    for pool_size in POOL_SIZES:
+        engine = QueryEngine(pool_size=pool_size, retries=1)
+        try:
+            run_composed(topo, query, engine)  # warm spawn + model caches
+            best = None
+            for _ in range(repeats):
+                started = time.perf_counter()
+                result = run_composed(topo, query, engine)
+                elapsed_ms = (time.perf_counter() - started) * 1000.0
+                if best is None or elapsed_ms < best[0]:
+                    best = (elapsed_ms, result)
+        finally:
+            engine.close()
+        composed_ms, result = best
+        row = {
+            "name": name,
+            "devices": devices,
+            "pool_size": pool_size,
+            "shards": result.shard_count,
+            "monolithic_ms": round(mono_ms, 3),
+            "composed_ms": round(composed_ms, 3),
+            "recompose_ms": round(result.recompose_ms, 3),
+            "speedup": round(mono_ms / composed_ms, 3),
+            "agreement": result.reachable == mono.reachable,
+            "escalations": result.escalations,
+        }
+        rows.append(row)
+        print(
+            f"  pool={pool_size}: composed {composed_ms:.0f} ms "
+            f"({result.shard_count} shards, "
+            f"recompose {result.recompose_ms:.0f} ms) "
+            f"speedup {row['speedup']:.1f}x "
+            f"agreement={row['agreement']}"
+        )
+        if not row["agreement"]:
+            raise SystemExit(
+                f"composed/monolithic divergence on {name} "
+                f"pool={pool_size}: {result.reachable} vs {mono.reachable}"
+            )
+    return rows
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="small fabric only (CI smoke)"
+    )
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent
+        / "BENCH_compose.json",
+    )
+    args = parser.parse_args()
+
+    fabrics = [("fat_tree_k4", 4)]
+    if not args.quick:
+        fabrics.append(("fat_tree_k8", 8))
+
+    results = []
+    for name, k in fabrics:
+        results.extend(bench_topology(name, k, args.repeats))
+
+    report = {
+        "bench": "compose",
+        "quick": args.quick,
+        "python": platform.python_version(),
+        "results": results,
+    }
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

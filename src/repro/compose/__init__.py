@@ -1,0 +1,80 @@
+"""Compositional sharding: assume-guarantee network verification.
+
+Decomposes an end-to-end reachability/invariant query over an
+N-device topology into independent per-shard interface summaries that
+fan out across the :class:`~repro.service.QueryEngine` worker pool,
+then recomposes them by chaining images along the topology and
+discharging the interface assumptions — escalating to exact
+re-summaries, and finally to the joint monolithic fixpoint, only when
+the cheap decomposition cannot certify the verdict.
+
+Public surface:
+
+* :func:`run_composed` / :class:`ComposedResult` — the driver;
+* :func:`plan_shards` / :class:`Plan` — the topology partitioner;
+* :func:`compute_shard_summary` — the picklable worker entry
+  (``repro.compose.shard:compute_shard_summary``);
+* :func:`recompose` — the parent-side chaining fixpoint;
+* :func:`monolithic_verdict` — the joint-query oracle/fallback;
+* :func:`simulate` — the concrete single-header reference simulator.
+"""
+
+from .cubes import (
+    Cover,
+    cover_node,
+    cover_predicate,
+    header_matches,
+    node_cover,
+    prefix_cube,
+    validate_cover,
+)
+from .driver import (
+    SHARD_BUILDER,
+    ComposedResult,
+    run_composed,
+)
+from .monolith import MonolithResult, NetState, monolithic_verdict
+from .plan import Plan, plan_shards, point_key
+from .recompose import (
+    CANARY_DROP_ASSUMPTION,
+    RecomposeOutcome,
+    recompose,
+)
+from .shard import compute_shard_summary
+from .topo import (
+    device_models,
+    has_nat,
+    link_map,
+    simulate,
+    validate_query,
+    validate_topology,
+)
+
+__all__ = [
+    "CANARY_DROP_ASSUMPTION",
+    "ComposedResult",
+    "Cover",
+    "MonolithResult",
+    "NetState",
+    "Plan",
+    "RecomposeOutcome",
+    "SHARD_BUILDER",
+    "compute_shard_summary",
+    "cover_node",
+    "cover_predicate",
+    "device_models",
+    "has_nat",
+    "header_matches",
+    "link_map",
+    "monolithic_verdict",
+    "node_cover",
+    "plan_shards",
+    "point_key",
+    "prefix_cube",
+    "recompose",
+    "run_composed",
+    "simulate",
+    "validate_cover",
+    "validate_query",
+    "validate_topology",
+]

@@ -1,0 +1,193 @@
+"""Recomposition: chain shard images and discharge assumptions.
+
+The recomposer runs in the parent process over its *own* transformer
+context.  It propagates header sets along the plan's boundary map —
+``arriving[entry] → image → arriving[next entry]`` — to a fixpoint,
+then intersects what reached the sink with the query target.
+
+Assume-guarantee bookkeeping is judged against the *converged*
+arriving sets (judging mid-fixpoint would never stabilise under
+escalation, because intermediate worklist pops see partially-grown
+sets):
+
+* **Discharge** — every entry's final arriving set must be contained
+  in the assumption its shard was summarised under; a violation means
+  the images say nothing about the uncovered headers and the verdict
+  cannot be trusted in *either* direction.  The driver escalates such
+  shards with exact entry assumptions.
+* **Exactness** — a ``filters_only`` shard never rewrites headers, so
+  its true image of ``S`` is ``S ∩ image(assumption)`` and the chained
+  set stays exact.  A rewriting shard's image is the image of its
+  whole assumption: exact precisely when the converged arriving set
+  *equals* that assumption (escalation re-dispatches converge towards
+  this), otherwise an over-approximation — sound for "unreachable",
+  *tainted* for "reachable".
+* **Overflow** — an image reported as ``None`` (cube-cover overflow in
+  the worker) makes the whole recomposition unknown; the driver falls
+  back to the monolithic fixpoint.
+
+The injectable canary bug ``compose-drop-assumption`` (see
+``repro.fuzz``) lives here: it skips discharge and treats rewriting
+shards as filters, which silently corrupts verdicts on NAT topologies
+— exactly the class of unsoundness the differential fuzz farm exists
+to catch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set
+
+from ..core.transformers import TransformerContext
+from ..network import Header
+from ..telemetry.spans import span
+from .cubes import Cover, cover_node, node_cover
+from .plan import Plan, parse_point, point_key
+
+#: Canary bug id: drop interface-assumption discharge in the recomposer.
+CANARY_DROP_ASSUMPTION = "compose-drop-assumption"
+
+
+@dataclass
+class RecomposeOutcome:
+    """What one recompose fixpoint established."""
+
+    hit_node: int  # delivered ∩ target, in `context`
+    context: TransformerContext
+    tainted_shards: Set[str] = field(default_factory=set)
+    assumption_failures: Set[str] = field(default_factory=set)
+    overflow: bool = False
+    iterations: int = 0
+    arriving: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def trusted(self) -> bool:
+        """Whether the verdict needs no escalation in either direction."""
+        if self.overflow or self.assumption_failures:
+            return False
+        return self.hit_node == 0 or not self.tainted_shards
+
+    def arriving_cover(self, entry_key: str, max_cubes: int = 4096) -> Cover:
+        levels = self.context.space(
+            self.context.universe(Header).zen_type
+        ).levels
+        return node_cover(
+            self.context.manager,
+            levels,
+            self.arriving.get(entry_key, 0),
+            max_cubes,
+        )
+
+
+def recompose(
+    plan: Plan,
+    summaries: Dict[str, Dict[str, Any]],
+    context: Optional[TransformerContext] = None,
+    bug: Optional[str] = None,
+    max_iterations: int = 100_000,
+) -> RecomposeOutcome:
+    """Chain shard summaries along the plan's boundaries to a fixpoint."""
+    if context is None:
+        context = TransformerContext()
+    header_type = context.universe(Header).zen_type
+    levels = context.space(header_type).levels
+    manager = context.manager
+    canary = bug == CANARY_DROP_ASSUMPTION
+
+    # Pre-render assumption and image nodes once per summary.
+    assumption_nodes: Dict[str, Dict[str, int]] = {}
+    image_nodes: Dict[str, Optional[int]] = {}
+    overflow = False
+    for sid, summary in summaries.items():
+        per_entry: Dict[str, int] = {}
+        base = summary.get("assumption")
+        for key, cover in (summary.get("entry_assumptions") or {}).items():
+            per_entry[key] = cover_node(manager, levels, cover)
+        per_entry[""] = 1 if base is None else cover_node(manager, levels, base)
+        assumption_nodes[sid] = per_entry
+        for pair, cover in summary["images"].items():
+            if cover is None:
+                overflow = True
+                image_nodes[pair] = None
+            else:
+                image_nodes[pair] = cover_node(manager, levels, cover)
+
+    # Index images by their entry point for the worklist.
+    images_of_entry: Dict[str, List[str]] = {}
+    for pair in image_nodes:
+        entry_key = pair.split("|", 1)[0]
+        images_of_entry.setdefault(entry_key, []).append(pair)
+
+    sink_key = point_key(plan.sink)
+    outcome = RecomposeOutcome(0, context, overflow=overflow)
+    arriving: Dict[str, int] = {
+        point_key(plan.source): cover_node(manager, levels, plan.headers)
+    }
+    delivered = 0
+    worklist = [point_key(plan.source)]
+
+    def shard_at(entry_key: str) -> Optional[str]:
+        sid = plan.shard_of.get(parse_point(entry_key)[0])
+        return sid if sid in summaries else None
+
+    with span("compose.recompose", shards=len(summaries)) as live:
+        while worklist and outcome.iterations < max_iterations:
+            outcome.iterations += 1
+            entry_key = worklist.pop()
+            current = arriving.get(entry_key, 0)
+            sid = shard_at(entry_key)
+            if current == 0 or sid is None:
+                continue
+            summary = summaries[sid]
+            exact_summary = summary.get("filters_only") or canary
+            for pair in images_of_entry.get(entry_key, ()):
+                image = image_nodes[pair]
+                if image is None:
+                    continue  # overflow already flagged
+                if exact_summary:
+                    flowed = manager.and_(current, image)
+                else:
+                    flowed = image  # whole-assumption image; judged below
+                if flowed == 0:
+                    continue
+                exit_key = pair.split("|", 1)[1]
+                if exit_key == sink_key:
+                    delivered = manager.or_(delivered, flowed)
+                    continue
+                next_entry = plan.boundary.get(exit_key)
+                if next_entry is None:
+                    continue  # exits the analysed region; drops
+                grown = manager.or_(arriving.get(next_entry, 0), flowed)
+                if grown != arriving.get(next_entry, 0):
+                    arriving[next_entry] = grown
+                    if next_entry not in worklist:
+                        worklist.append(next_entry)
+
+        # Judge discharge and exactness against the converged sets.
+        if not canary:
+            for entry_key, final in arriving.items():
+                sid = shard_at(entry_key)
+                if final == 0 or sid is None:
+                    continue
+                summary = summaries[sid]
+                per_entry = assumption_nodes[sid]
+                assumed = per_entry.get(entry_key, per_entry[""])
+                if manager.diff(final, assumed) != 0:
+                    outcome.assumption_failures.add(sid)
+                if not summary.get("filters_only"):
+                    exact_here = (
+                        summary.get("assumption_exact")
+                        and entry_key in per_entry
+                        and final == assumed
+                    )
+                    if not exact_here:
+                        outcome.tainted_shards.add(sid)
+
+        target_node = cover_node(manager, levels, plan.target)
+        outcome.hit_node = manager.and_(delivered, target_node)
+        outcome.arriving = arriving
+        live.set("iterations", outcome.iterations)
+        live.set("tainted", len(outcome.tainted_shards))
+        live.set("assumption_failures", len(outcome.assumption_failures))
+        live.set("hit", outcome.hit_node != 0)
+    return outcome

@@ -1,0 +1,319 @@
+"""Shard workers: per-shard interface image summaries.
+
+:func:`compute_shard_summary` is the compose fan-out's worker entry
+point.  It is addressed by the service layer as the ``module:attr``
+builder of a ``kind="call"`` :class:`~repro.service.QuerySpec`, takes
+one plain-JSON shard task (from :func:`~repro.compose.plan.plan_shards`)
+and returns a plain-JSON summary — nothing symbolic crosses the
+process boundary.
+
+For each (entry point, exit point) pair the worker computes the
+*image*: the set of headers that can leave the shard at the exit given
+that headers in the shard's interface assumption arrive at the entry.
+Internally this is a small worklist fixpoint over the shard's own
+devices and links (shards may contain internal loops), built from two
+cached per-device sets:
+
+* ``IN[d, p]``  — headers admitted by ``acl_in`` at port ``p``;
+* ``PRE[d, q]`` — headers whose *post-NAT* rewrite is forwarded to
+  port ``q`` and admitted by ``acl_out`` there.
+
+A hop's image of a set ``S`` entering ``p`` and leaving ``q`` is then
+``S ∩ IN[p] ∩ PRE[q]``, pushed through the device's NAT rewrite when
+it has one.  Prefix NAT replaces network bits and keeps host bits, so
+its exact image is existential quantification of the replaced bits
+followed by pinning them — orders of magnitude cheaper than building
+the rewrite's full transition relation
+(:func:`~repro.core.forward_image` does that for arbitrary step
+functions; the monolithic fallback still uses that general path).
+Devices without NAT never rewrite, so their images are plain
+intersections and the summary is marked ``filters_only`` — the
+recomposer exploits that for exactness.
+
+Image covers that exceed ``max_cubes`` are reported as ``None``
+(unknown), never truncated: a partial cover would under-approximate
+and could certify a bogus "unreachable".
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core import ZenFunction, start_meter
+from ..core.transformers import StateSet, TransformerContext
+from ..core.budget import Budget
+from ..lang import Zen, constant
+from ..network import Header, NatRule, Prefix, acl_allows, apply_nat, forward
+from ..telemetry.metrics import METRICS
+from ..telemetry.spans import span
+from .cubes import _OFFSETS, Cover, cover_node, node_cover, validate_cover
+from .plan import pair_key, point_key
+from .topo import DeviceModel, Point, device_model
+
+
+def _budget_from_dict(data: Optional[Dict[str, Any]]) -> Optional[Budget]:
+    if not data:
+        return None
+    allowed = ("deadline_s", "max_conflicts", "max_bdd_nodes", "max_models")
+    return Budget(**{k: data[k] for k in allowed if data.get(k) is not None})
+
+
+class _ShardModel:
+    """Per-device Zen sets for one shard, cached by (device, port)."""
+
+    def __init__(
+        self, context: TransformerContext, header_type, levels, meter
+    ) -> None:
+        self.context = context
+        self.header_type = header_type
+        self.levels = levels
+        self.meter = meter
+        self._in: Dict[Point, StateSet] = {}
+        self._pre: Dict[Point, StateSet] = {}
+        self.set_ops = 0
+
+    def admitted(self, model: DeviceModel, port: int) -> StateSet:
+        key = (model.name, port)
+        if key not in self._in:
+            acl = model.acl_in.get(port)
+            if acl is None:
+                pred = ZenFunction(
+                    lambda h: constant(True, bool), [Header], name="allow-all"
+                )
+            else:
+                pred = ZenFunction(
+                    lambda h, acl=acl: acl_allows(acl, h),
+                    [Header],
+                    name=f"in:{model.name}:{port}",
+                )
+            self._in[key] = self.context.from_predicate(pred, budget=self.meter)
+        return self._in[key]
+
+    def pre_exit(self, model: DeviceModel, port: int) -> StateSet:
+        """Headers whose post-NAT form is forwarded to `port` and
+        admitted by its egress ACL."""
+        key = (model.name, port)
+        if key not in self._pre:
+
+            def pred_fn(h: Zen, model: DeviceModel = model, q: int = port) -> Zen:
+                rewritten = apply_nat(model.nat, h) if model.nat else h
+                cond = forward(model.fib, rewritten) == q
+                acl = model.acl_out.get(q)
+                if acl is not None:
+                    cond = cond & acl_allows(acl, rewritten)
+                return cond
+
+            pred = ZenFunction(
+                pred_fn, [Header], name=f"pre:{model.name}:{port}"
+            )
+            self._pre[key] = self.context.from_predicate(
+                pred, budget=self.meter
+            )
+        return self._pre[key]
+
+    def _prefix_literals(self, field: str, prefix: Prefix) -> Dict[int, bool]:
+        offset = _OFFSETS[field]
+        return {
+            self.levels[offset + slot]: bool(
+                prefix.address & (1 << (31 - slot))
+            )
+            for slot in range(prefix.length)
+        }
+
+    def _set_field(
+        self, node: int, field: str, literals: Dict[int, bool]
+    ) -> int:
+        """Forget the given bits of a field, then pin them to `literals`."""
+        manager = self.context.manager
+        freed = manager.exists(node, literals.keys())
+        return manager.and_(freed, manager.cube(literals))
+
+    def _rule_image(self, node: int, rule: NatRule) -> int:
+        """Exact image of one NAT rule's rewrite on a matched set.
+
+        A prefix rewrite replaces the network bits and keeps host
+        bits, so the image is existential quantification of the
+        replaced bits followed by pinning them — no transition
+        relation needed.
+        """
+        result = node
+        if rule.translate_src is not None:
+            result = self._set_field(
+                result,
+                "src_ip",
+                self._prefix_literals("src_ip", rule.translate_src),
+            )
+        if rule.translate_dst is not None:
+            result = self._set_field(
+                result,
+                "dst_ip",
+                self._prefix_literals("dst_ip", rule.translate_dst),
+            )
+        for value, field, width in (
+            (rule.set_src_port, "src_port", 16),
+            (rule.set_dst_port, "dst_port", 16),
+        ):
+            if value is None:
+                continue
+            offset = _OFFSETS[field]
+            literals = {
+                self.levels[offset + slot]: bool(
+                    value & (1 << (width - 1 - slot))
+                )
+                for slot in range(width)
+            }
+            result = self._set_field(result, field, literals)
+        return result
+
+    def nat_image(self, model: DeviceModel, node: int) -> int:
+        """Exact image of a set under the device's NAT table."""
+        manager = self.context.manager
+        remaining = node
+        image = 0
+        for rule in model.nat.rules:
+            match = manager.cube(
+                {
+                    **self._prefix_literals("src_ip", rule.match_src),
+                    **self._prefix_literals("dst_ip", rule.match_dst),
+                }
+            )
+            hit = manager.and_(remaining, match)
+            remaining = manager.diff(remaining, match)
+            if hit != 0:
+                image = manager.or_(image, self._rule_image(hit, rule))
+            if remaining == 0:
+                break
+        return manager.or_(image, remaining)  # unmatched pass unchanged
+
+    def hop_image(
+        self, model: DeviceModel, in_port: int, out_port: int, arriving: StateSet
+    ) -> StateSet:
+        """Image of `arriving` across one device hop (may rewrite)."""
+        if self.meter is not None:
+            self.meter.check_deadline()
+        self.set_ops += 1
+        passing = arriving.intersect(self.admitted(model, in_port)).intersect(
+            self.pre_exit(model, out_port)
+        )
+        if model.nat is None or passing.node == 0:
+            return passing
+        METRICS.counter("compose.nat_images").inc()
+        return StateSet(
+            self.context,
+            self.header_type,
+            self.nat_image(model, passing.node),
+        )
+
+
+def compute_shard_summary(task: Dict[str, Any]) -> Dict[str, Any]:
+    """Compute one shard's interface image summary (worker entry).
+
+    `task` is a shard dict from :func:`~repro.compose.plan.plan_shards`,
+    optionally with per-entry exact assumptions under
+    ``entry_assumptions`` (escalation re-dispatch).  Returns a plain
+    dict; see the module docstring for semantics.
+    """
+    started = time.monotonic()
+    shard_id = task["shard_id"]
+    models = {
+        name: device_model(name, spec)
+        for name, spec in task["devices"].items()
+    }
+    entries: List[Point] = [(d, int(p)) for d, p in task.get("entries", [])]
+    exits = {(d, int(p)) for d, p in task.get("exits", [])}
+    assumption: Cover = validate_cover(task.get("assumption"), "assumption")
+    entry_assumptions = task.get("entry_assumptions") or {}
+    for key, cover in entry_assumptions.items():
+        validate_cover(cover, f"entry_assumptions[{key}]")
+    max_cubes = int(task.get("max_cubes", 4096))
+    meter = start_meter(_budget_from_dict(task.get("budget")))
+
+    internal: Dict[Point, Point] = {}
+    for dev_a, port_a, dev_b, port_b in task.get("links", []):
+        internal[(dev_a, int(port_a))] = (dev_b, int(port_b))
+        internal[(dev_b, int(port_b))] = (dev_a, int(port_a))
+
+    context = TransformerContext()
+    header_type = context.universe(Header).zen_type
+    levels = context.space(header_type).levels
+    manager = context.manager
+    model = _ShardModel(context, header_type, levels, meter)
+    filters_only = all(m.nat is None for m in models.values())
+
+    def out_ports(name: str) -> List[int]:
+        ports = {
+            rule.port for rule in models[name].fib.rules if rule.port != 0
+        }
+        return sorted(ports)
+
+    images: Dict[str, Optional[Cover]] = {}
+    exact = True
+    rounds = 0
+
+    with span(
+        "compose.shard", shard=shard_id, devices=len(models)
+    ) as live:
+        for entry in entries:
+            seed_cover = entry_assumptions.get(point_key(entry), assumption)
+            seed = StateSet(
+                context, header_type, cover_node(manager, levels, seed_cover)
+            )
+            arriving: Dict[Point, StateSet] = {entry: seed}
+            reached_exits: Dict[Point, StateSet] = {}
+            worklist: List[Point] = [entry]
+            while worklist:
+                if meter is not None:
+                    meter.check_deadline()
+                rounds += 1
+                device, port = worklist.pop()
+                current = arriving[(device, port)]
+                if current.node == 0:
+                    continue
+                for q in out_ports(device):
+                    image = model.hop_image(models[device], port, q, current)
+                    if image.node == 0:
+                        continue
+                    if (device, q) in exits:
+                        prior = reached_exits.get((device, q))
+                        reached_exits[(device, q)] = (
+                            image if prior is None else prior.union(image)
+                        )
+                    neighbour = internal.get((device, q))
+                    if neighbour is not None:
+                        prior = arriving.get(neighbour)
+                        grown = (
+                            image if prior is None else prior.union(image)
+                        )
+                        if prior is None or not grown.equals(prior):
+                            arriving[neighbour] = grown
+                            if neighbour not in worklist:
+                                worklist.append(neighbour)
+            for exit_point, reached in reached_exits.items():
+                cover = node_cover(manager, levels, reached.node, max_cubes)
+                if cover is None:
+                    exact = False
+                images[pair_key(entry, exit_point)] = cover
+        live.set("entries", len(entries))
+        live.set("images", len(images))
+        live.set("exact", exact)
+
+    summary: Dict[str, Any] = {
+        "shard_id": shard_id,
+        "filters_only": filters_only,
+        "exact": exact,
+        "assumption": assumption,
+        "images": images,
+        "stats": {
+            "devices": len(models),
+            "entries": len(entries),
+            "exits": len(exits),
+            "set_ops": model.set_ops,
+            "fixpoint_pops": rounds,
+            "elapsed_ms": (time.monotonic() - started) * 1000.0,
+        },
+    }
+    if entry_assumptions:
+        summary["entry_assumptions"] = dict(entry_assumptions)
+        summary["assumption_exact"] = True
+    return summary

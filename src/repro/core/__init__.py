@@ -17,6 +17,7 @@ from .modelcheck import (
     backward_reachable,
     can_reach,
     check_invariant,
+    forward_image,
     reachable_states,
 )
 from .testgen import InputSuite, generate_inputs
@@ -50,6 +51,7 @@ __all__ = [
     "generate_inputs",
     "compile_function",
     "reachable_states",
+    "forward_image",
     "check_invariant",
     "can_reach",
     "backward_reachable",

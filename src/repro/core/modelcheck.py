@@ -8,6 +8,20 @@ answers invariant and reachability queries without a depth bound.
 
 Because BDDs are canonical, fixpoint detection is pointer equality of
 set nodes.
+
+Observability
+-------------
+Each fixpoint runs under a ``modelcheck.fixpoint`` trace span whose
+final attributes record the iteration count, convergence, and frontier
+sizes, and bumps the ``modelcheck.*`` counters in the process-wide
+:data:`~repro.telemetry.metrics.METRICS` registry — one per iteration,
+one per budget checkpoint — so a long-running fixpoint is visible from
+the outside instead of being a telemetry blind spot.
+
+:func:`forward_image` exports the fixpoint's building block on its
+own: one budget-threaded post-image, which is what the compositional
+sharding layer (:mod:`repro.compose`) uses to compute per-device image
+summaries without re-deriving transformer plumbing.
 """
 
 from __future__ import annotations
@@ -16,6 +30,8 @@ from dataclasses import dataclass
 from typing import Any, Callable, List, Optional
 
 from ..errors import ZenTypeError
+from ..telemetry.metrics import METRICS
+from ..telemetry.spans import span
 from .budget import metered, start_meter
 from .function import ZenFunction
 from .transformers import StateSet, StateSetTransformer, TransformerContext, default_context
@@ -28,6 +44,83 @@ class ReachabilityReport:
     reachable: StateSet
     iterations: int
     converged: bool
+
+
+def forward_image(
+    step: ZenFunction,
+    inputs: StateSet,
+    context: Optional[TransformerContext] = None,
+    budget=None,
+) -> StateSet:
+    """One forward image (post) of `inputs` under `step`.
+
+    The single-application building block of :func:`reachable_states`,
+    exported for per-device image summaries: the compose layer applies
+    it device by device instead of running a joint fixpoint.  `step`
+    may have distinct input/output types (e.g. a header rewrite);
+    `budget` meters the transformer build and the image alike.
+    """
+    if context is None:
+        context = default_context()
+    meter = start_meter(budget)
+    with span("modelcheck.image", step=step.name):
+        transformer = step.transformer(context, budget=meter)
+        with metered(context.manager, meter):
+            image = transformer.transform_forward(inputs, budget=meter)
+    METRICS.counter("modelcheck.images").inc()
+    return image
+
+
+def _fixpoint(
+    step: ZenFunction,
+    seed: StateSet,
+    context: TransformerContext,
+    max_iterations: int,
+    meter,
+    direction: str,
+) -> ReachabilityReport:
+    """Shared forward/backward fixpoint loop with telemetry."""
+    transformer = step.transformer(context, budget=meter)
+    if transformer.input_type != transformer.output_type:
+        raise ZenTypeError(
+            "unbounded model checking needs step : S -> S, got "
+            f"{transformer.input_type} -> {transformer.output_type}"
+        )
+    manager = context.manager
+    iterations_counter = METRICS.counter("modelcheck.iterations")
+    checkpoints_counter = METRICS.counter("modelcheck.budget_checks")
+    frontier_gauge = METRICS.gauge("modelcheck.frontier_nodes")
+    METRICS.counter("modelcheck.fixpoints").inc()
+    reached = seed
+    with span(
+        "modelcheck.fixpoint", direction=direction, step=step.name
+    ) as live:
+        converged = False
+        iteration = 0
+        with metered(manager, meter):
+            for iteration in range(1, max_iterations + 1):
+                if meter is not None:
+                    meter.check_deadline()
+                    checkpoints_counter.inc()
+                iterations_counter.inc()
+                if direction == "forward":
+                    frontier = transformer.transform_forward(
+                        reached, budget=meter
+                    )
+                else:
+                    frontier = transformer.transform_reverse(
+                        reached, budget=meter
+                    )
+                frontier_gauge.set(manager.node_count(frontier.node))
+                grown = reached.union(frontier)
+                if grown.equals(reached):
+                    converged = True
+                    break
+                reached = grown
+        live.set("iterations", iteration)
+        live.set("converged", converged)
+        live.set("reached_nodes", manager.node_count(reached.node))
+    return ReachabilityReport(reached, iteration, converged)
 
 
 def reachable_states(
@@ -52,23 +145,7 @@ def reachable_states(
     if context is None:
         context = default_context()
     meter = start_meter(budget)
-    transformer = step.transformer(context, budget=meter)
-    if transformer.input_type != transformer.output_type:
-        raise ZenTypeError(
-            "unbounded model checking needs step : S -> S, got "
-            f"{transformer.input_type} -> {transformer.output_type}"
-        )
-    reached = initial
-    with metered(context.manager, meter):
-        for iteration in range(1, max_iterations + 1):
-            if meter is not None:
-                meter.check_deadline()
-            frontier = transformer.transform_forward(reached, budget=meter)
-            grown = reached.union(frontier)
-            if grown.equals(reached):
-                return ReachabilityReport(reached, iteration, True)
-            reached = grown
-    return ReachabilityReport(reached, max_iterations, False)
+    return _fixpoint(step, initial, context, max_iterations, meter, "forward")
 
 
 def check_invariant(
@@ -130,19 +207,4 @@ def backward_reachable(
     if context is None:
         context = default_context()
     meter = start_meter(budget)
-    transformer = step.transformer(context, budget=meter)
-    if transformer.input_type != transformer.output_type:
-        raise ZenTypeError(
-            "unbounded model checking needs step : S -> S"
-        )
-    reached = bad
-    with metered(context.manager, meter):
-        for iteration in range(1, max_iterations + 1):
-            if meter is not None:
-                meter.check_deadline()
-            frontier = transformer.transform_reverse(reached, budget=meter)
-            grown = reached.union(frontier)
-            if grown.equals(reached):
-                return ReachabilityReport(reached, iteration, True)
-            reached = grown
-    return ReachabilityReport(reached, max_iterations, False)
+    return _fixpoint(step, bad, context, max_iterations, meter, "backward")

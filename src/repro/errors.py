@@ -203,6 +203,24 @@ class ZenBackendDisagreement(ZenServiceError):
         self.profiles = dict(profiles or {})
 
 
+class ZenComposeError(ZenServiceError):
+    """A compositional query lost a shard it cannot recompose without.
+
+    The compose driver fans per-shard summary tasks out through the
+    query engine; when a shard's dispatch fails terminally (worker
+    crash after retries, hard timeout, queue rejection) the
+    recomposition is missing an interface image and *must not* fall
+    back to guessing.  The failure is structural and carries
+    ``shard_id`` plus the underlying per-shard errors so callers can
+    re-dispatch or escalate to the monolithic query deliberately.
+    """
+
+    def __init__(self, message, shard_id="", causes=()):
+        super().__init__(message)
+        self.shard_id = shard_id
+        self.causes = tuple(causes)
+
+
 class ZenUnsoundResultError(ZenError, RuntimeError):
     """A solver produced a model that fails concrete replay.
 

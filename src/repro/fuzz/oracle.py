@@ -46,7 +46,7 @@ from ..errors import (
     ZenServiceError,
     ZenUnsoundResultError,
 )
-from .reference import reference_inputs, reference_result
+from .reference import _in_cover, reference_inputs, reference_result
 from .scenario import build_scenario_model, prop_never, scenario_label
 
 __all__ = [
@@ -174,6 +174,7 @@ def check_scenario(
     budget: Optional[Budget] = None,
     timeout_s: Optional[float] = None,
     extra_inputs: Sequence[Tuple[Any, ...]] = (),
+    monolith: bool = True,
 ) -> OracleReport:
     """Run the full differential oracle over one scenario.
 
@@ -182,10 +183,27 @@ def check_scenario(
     counterexample here, so a candidate scenario keeps "failing" as
     long as that specific input still diverges — without this, each
     shrink step would re-roll the probe stream and lose the failure.
+
+    ``monolith`` gates the joint-fixpoint arm of topology scenarios
+    (it pays a multi-second relation-construction floor even on tiny
+    chains); the farm samples it rather than paying it per scenario.
+    Other kinds ignore the flag.
     """
     report = OracleReport(
         scenario=data, ok=True, mode="service" if engine else "inprocess"
     )
+    if data["kind"] == "topology":
+        _check_topology(
+            data,
+            report,
+            engine,
+            probe_count,
+            budget,
+            timeout_s,
+            extra_inputs,
+            monolith,
+        )
+        return report
     try:
         fn = build_scenario_model(data)
     except Exception as error:  # noqa: BLE001 - any build failure is a find
@@ -341,6 +359,162 @@ def _solve_service(
             # missing side failed (agreed=None) — resource-explained.
             report.verdicts[backend] = None
             report.explained = report.explained or "one-sided"
+
+
+# ----------------------------------------------------------------------
+# Compose topologies
+# ----------------------------------------------------------------------
+
+
+def _budget_fields(budget: Optional[Budget]) -> Optional[Dict[str, Any]]:
+    if budget is None:
+        return None
+    fields = ("deadline_s", "max_conflicts", "max_bdd_nodes", "max_models")
+    return {
+        k: getattr(budget, k)
+        for k in fields
+        if getattr(budget, k, None) is not None
+    }
+
+
+def _check_topology(
+    data: Dict[str, Any],
+    report: OracleReport,
+    engine: Any,
+    probe_count: int,
+    budget: Optional[Budget],
+    timeout_s: Optional[float],
+    extra_inputs: Sequence[Tuple[Any, ...]],
+    monolith: bool = True,
+) -> None:
+    """The compose differential: composed vs reference vs simulator vs
+    monolith.
+
+    Topology scenarios are not solved through find/verify — the object
+    under test is :func:`~repro.compose.driver.run_composed` itself.
+    Checks run cheapest-first: the composed verdict, then concrete
+    probes (reference walker against the pipeline simulator, and any
+    True probe against a composed "unreachable"), then witness replay,
+    and only last the budget-capped monolithic fixpoint.  The monolith
+    is skipped when ``extra_inputs`` pins a counterexample (shrinking
+    and artifact replay): the pinned probe carries the failure, and
+    the shrinker's hundreds of candidate checks must not each pay a
+    joint fixpoint.
+    """
+    import dataclasses
+
+    from ..compose.driver import run_composed
+    from ..compose.monolith import monolithic_verdict
+    from ..compose.topo import simulate
+    from ..errors import ZenComposeError
+    from ..network.packet import Header
+    from .reference import SYSTEM_BUGS
+
+    payload = data["payload"]
+    topo, query = payload["topo"], payload["query"]
+    bug = data.get("bug")
+
+    try:
+        composed = run_composed(
+            topo,
+            query,
+            engine=engine,
+            budget=_budget_fields(budget),
+            timeout_s=timeout_s,
+            # Reference-planted bugs stay in the reference interpreter;
+            # only system bugs are interpreted by the compose pipeline.
+            bug=bug if bug in SYSTEM_BUGS else None,
+        )
+    except ZenBudgetExceeded as error:
+        report.explained = f"budget:{error.reason or 'exhausted'}"
+        report.verdicts["composed"] = None
+        return
+    except (ZenComposeError, ZenError) as error:
+        report.ok = False
+        report.signature = ("error", type(error).__name__)
+        report.detail = f"run_composed raised: {error}"
+        report.verdicts["composed"] = None
+        return
+    report.verdicts["composed"] = composed.reachable
+
+    def sim_verdict(h: Header) -> bool:
+        if not _in_cover(query.get("headers"), h):
+            return False
+        replay = simulate(topo, query, dataclasses.asdict(h))
+        if not replay["delivered"]:
+            return False
+        return _in_cover(query.get("target"), Header(**replay["header"]))
+
+    rng = random.Random(
+        f"repro-fuzz-probe:{data.get('seed')}:{data.get('index')}"
+    )
+    probes = list(extra_inputs) + reference_inputs(data, rng, count=probe_count)
+    for probe in probes:
+        ref_says = reference_result(data, probe)
+        sim_says = sim_verdict(probe[0])
+        report.probes_checked += 1
+        if ref_says != sim_says:
+            report.ok = False
+            report.signature = ("ref_divergence", "probe")
+            report.detail = (
+                f"simulator={sim_says} reference={ref_says} on probe "
+                f"{probe!r}"
+            )
+            report.counterexample = probe
+            return
+        if ref_says and not composed.reachable:
+            report.ok = False
+            report.signature = ("unsat_refuted",)
+            report.detail = (
+                f"composed verdict is unreachable but {probe!r} is "
+                f"delivered per both concrete interpreters "
+                f"(mode={composed.mode}, escalations={composed.escalations})"
+            )
+            report.counterexample = probe
+            return
+
+    if composed.reachable and composed.witness is not None:
+        witness = (Header(**composed.witness),)
+        report.witnesses["composed"] = witness
+        if not reference_result(data, witness):
+            report.ok = False
+            report.signature = ("ref_divergence", "witness")
+            report.detail = (
+                "composed witness rejected by the reference "
+                f"interpreter: {composed.witness!r}"
+            )
+            report.counterexample = witness
+            return
+
+    if extra_inputs or not monolith:
+        return
+    # The joint fixpoint pays a multi-second relation-construction
+    # floor even on two-device chains, so the scenario deadline (tuned
+    # for solver queries) would always trip: scale it up and rely on
+    # the BDD node cap, which cuts genuine NAT blowups off in seconds.
+    mono_budget = budget
+    if budget is not None and budget.deadline_s is not None:
+        mono_budget = Budget(
+            deadline_s=max(15.0, 5 * budget.deadline_s),
+            max_conflicts=budget.max_conflicts,
+            max_bdd_nodes=budget.max_bdd_nodes or 1_000_000,
+            max_models=budget.max_models,
+        )
+    try:
+        mono = monolithic_verdict(topo, query, budget=mono_budget)
+    except ZenBudgetExceeded as error:
+        report.explained = f"budget:{error.reason or 'exhausted'}"
+        report.verdicts["monolith"] = None
+        return
+    report.verdicts["monolith"] = mono.reachable
+    if mono.reachable != composed.reachable:
+        report.ok = False
+        report.signature = ("compose_divergence",)
+        report.detail = (
+            f"composed={composed.reachable} monolith={mono.reachable} "
+            f"(fallback={composed.monolith_fallback}, "
+            f"escalations={composed.escalations})"
+        )
 
 
 # ----------------------------------------------------------------------

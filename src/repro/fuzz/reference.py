@@ -30,6 +30,7 @@ round-trips preserve it with no extra plumbing.
 
 from __future__ import annotations
 
+import dataclasses
 import random
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -38,6 +39,7 @@ from ..network.routemap import Route
 
 __all__ = [
     "KNOWN_BUGS",
+    "SYSTEM_BUGS",
     "reference_inputs",
     "reference_result",
 ]
@@ -51,6 +53,19 @@ KNOWN_BUGS = {
         "forwarding uses shortest- instead of longest-prefix match"
     ),
     "zen-sub-swapped": "subtraction computes right - left",
+}
+
+#: Injectable defects planted in the *system under test* instead of in
+#: this interpreter (the reference stays correct for these, so any
+#: divergence indicts the named subsystem).  Scenario validation
+#: accepts them alongside :data:`KNOWN_BUGS`; each is interpreted by
+#: the module it names.
+SYSTEM_BUGS = {
+    "compose-drop-assumption": (
+        "the recomposer skips assume-guarantee discharge and chains "
+        "rewriting shards as if they were filters (interpreted by "
+        "repro.compose.recompose)"
+    ),
 }
 
 _IP_MASK = 0xFFFFFFFF
@@ -272,6 +287,80 @@ def _forward_along_chain(
 
 
 # ----------------------------------------------------------------------
+# Compose topologies
+# ----------------------------------------------------------------------
+
+_COVER_WIDTHS = {
+    "dst_ip": 32,
+    "src_ip": 32,
+    "dst_port": 16,
+    "src_port": 16,
+    "protocol": 8,
+}
+
+
+def _in_cover(cover: Optional[Sequence[Dict[str, Any]]], h: Header) -> bool:
+    """Membership in a compose header cover (None = universe)."""
+    if cover is None:
+        return True
+    for cube in cover:
+        if all(
+            (getattr(h, fld) & mask) == (value & mask)
+            for fld, (value, mask) in cube.items()
+        ):
+            return True
+    return False
+
+
+def _walk_topology(
+    topo: Dict[str, Any],
+    query: Dict[str, Any],
+    h: Header,
+    bug: Optional[str],
+) -> Optional[Header]:
+    """Walk one header through the topology's hop pipeline.
+
+    Returns the delivered header, or None when the packet drops or
+    loops.  This mirrors the pipeline contract of
+    :mod:`repro.compose.topo` from scratch — acl_in, NAT rewrite, LPM,
+    acl_out, then linked ports hand off before the sink delivers —
+    using only this module's own helpers.
+    """
+    links: Dict[Tuple[str, int], Tuple[str, int]] = {}
+    for dev_a, port_a, dev_b, port_b in topo.get("links", []):
+        links[(dev_a, int(port_a))] = (dev_b, int(port_b))
+        links[(dev_b, int(port_b))] = (dev_a, int(port_a))
+    sink = (query["sink"][0], int(query["sink"][1]))
+    device, port = query["source"][0], int(query["source"][1])
+    seen = set()
+    for _ in range(4 * len(topo["devices"]) + 8):
+        spec = topo["devices"][device]
+        acl_in = {int(p): r for p, r in spec.get("acl_in", {}).items()}
+        if acl_in.get(port) is not None and not _acl_allows(
+            acl_in[port], h, bug
+        ):
+            return None
+        h = _apply_nat(spec.get("nat") or [], h)
+        out_port = _lpm_port(spec.get("fib", []), h.dst_ip, bug)
+        if out_port == 0:
+            return None
+        acl_out = {int(p): r for p, r in spec.get("acl_out", {}).items()}
+        if acl_out.get(out_port) is not None and not _acl_allows(
+            acl_out[out_port], h, bug
+        ):
+            return None
+        neighbour = links.get((device, out_port))
+        if neighbour is not None:
+            if (device, out_port, h) in seen:
+                return None  # forwarding loop
+            seen.add((device, out_port, h))
+            device, port = neighbour
+            continue
+        return h if (device, out_port) == sink else None
+    return None
+
+
+# ----------------------------------------------------------------------
 # Random Zen programs
 # ----------------------------------------------------------------------
 
@@ -385,6 +474,13 @@ def reference_result(data: Dict[str, Any], inputs: Sequence[Any]) -> bool:
         return outcome is not None and outcome.local_pref == check
     if kind == "path":
         return _forward_along_chain(payload["devices"], inputs[0], bug)
+    if kind == "topology":
+        topo, query = payload["topo"], payload["query"]
+        h = inputs[0]
+        if not _in_cover(query.get("headers"), h):
+            return False
+        final = _walk_topology(topo, query, h, bug)
+        return final is not None and _in_cover(query.get("target"), final)
     # kind == "zen"
     env = tuple(inputs)
     return _eval_bool(payload["ast"], env, payload["width"], bug)
@@ -426,6 +522,17 @@ def reference_inputs(
             )
         elif kind == "path":
             probes.append((_probe_packet(payload["devices"], rng, targeted),))
+        elif kind == "topology":
+            probes.append(
+                (
+                    _probe_topology_header(
+                        payload["topo"],
+                        payload["query"],
+                        rng,
+                        targeted,
+                    ),
+                )
+            )
         else:  # zen
             width = payload["width"]
             pool = (0, 1, 2, (1 << width) - 1, 1 << (width - 1), width)
@@ -475,6 +582,44 @@ def _probe_header(
         ),
         protocol=proto if proto is not None else rng.getrandbits(8),
     )
+
+
+def _probe_topology_header(
+    topo: Dict[str, Any],
+    query: Dict[str, Any],
+    rng: random.Random,
+    targeted: bool,
+) -> Header:
+    """A header probe for a compose topology scenario.
+
+    Targeted probes aim ``dst_ip`` at a random device's FIB prefixes so
+    they actually route somewhere specific; all probes then conform to
+    the query's header cover (when present) by overlaying the cubes'
+    pinned bits, so True reference verdicts refute composed ``unsat``.
+    """
+    h = Header(
+        dst_ip=rng.getrandbits(32),
+        src_ip=rng.getrandbits(32),
+        dst_port=rng.getrandbits(16),
+        src_port=rng.getrandbits(16),
+        protocol=rng.getrandbits(8),
+    )
+    if targeted:
+        spec = topo["devices"][rng.choice(sorted(topo["devices"]))]
+        prefixes = [entry[0] for entry in spec.get("fib", []) if entry[0][1]]
+        if prefixes:
+            h = dataclasses.replace(
+                h, dst_ip=_random_in_prefix(rng.choice(prefixes), rng)
+            )
+    cover = query.get("headers")
+    if cover:
+        cube = rng.choice(list(cover))
+        fields = dataclasses.asdict(h)
+        for fld, (value, mask) in cube.items():
+            width_mask = (1 << _COVER_WIDTHS[fld]) - 1
+            fields[fld] = (fields[fld] & ~mask & width_mask) | (value & mask)
+        h = Header(**fields)
+    return h
 
 
 def _probe_route(

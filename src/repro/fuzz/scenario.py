@@ -2,8 +2,8 @@
 
 A *scenario* is a fully JSON-serializable description of one random
 verification problem: a network-function composition (ACL, route map,
-NAT + ACL, a multi-device tunnel path) or a random Zen program, plus
-the query to ask of it.  Scenarios are the unit the farm generates,
+NAT + ACL, a multi-device tunnel path, a sharded compose topology) or
+a random Zen program, plus the query to ask of it.  Scenarios are the unit the farm generates,
 cross-checks, shrinks, and files in repro artifacts, so everything
 about them is plain data:
 
@@ -75,7 +75,7 @@ __all__ = [
 SCENARIO_VERSION = 1
 
 #: Scenario families the generator can emit.
-SCENARIO_KINDS = ("acl", "routemap", "nat", "path", "zen")
+SCENARIO_KINDS = ("acl", "routemap", "nat", "path", "zen", "topology")
 
 #: Integer operators of the random-Zen-program grammar.
 _INT_BINOPS = ("add", "sub", "mul", "band", "bor", "bxor", "shl", "shr")
@@ -282,6 +282,8 @@ def build_scenario_model(data: Dict[str, Any]) -> ZenFunction:
             return forward_along_path(path, p).has_value()
 
         return ZenFunction(path_model, [Packet], name=name)
+    if kind == "topology":
+        return _build_topology_model(payload, name)
     # kind == "zen"
     width = payload["width"]
     int_type = Byte if width == 8 else UShort
@@ -342,6 +344,59 @@ def _build_path(payload: Dict[str, Any]) -> List[Interface]:
             device.interfaces.append(intf)
             path.append(intf)
     return path
+
+
+def _build_topology_model(payload: Dict[str, Any], name: str) -> ZenFunction:
+    """A single boolean Zen model of a whole topology query.
+
+    Unrolls the compose monolith's product machine
+    (:mod:`repro.compose.monolith`) for the simulator's hop bound, so
+    ``evaluate(header)`` decides "does this injected header get
+    delivered on target?" with exactly the hop semantics every other
+    derivation uses.  The oracle only ever evaluates this model
+    concretely (topology scenarios are *decided* by the compose
+    subsystem itself); the unroll shares subterms, and the concrete
+    evaluator memoizes per node, so evaluation stays linear in the
+    expression DAG.
+    """
+    # Imported lazily: compose sits above the service layer, and this
+    # module must stay importable inside bare worker processes.
+    from ..compose.cubes import cover_predicate
+    from ..compose.monolith import NetState, _device_hop
+    from ..compose.topo import device_models, link_map
+    from ..lang import create
+
+    topo, query = payload["topo"], payload["query"]
+    models = device_models(topo)
+    links = link_map(topo)
+    names = sorted(models)
+    index_of = {device: i for i, device in enumerate(names)}
+    sink = (query["sink"][0], int(query["sink"][1]))
+    source = (query["source"][0], int(query["source"][1]))
+    max_hops = 4 * len(names) + 8
+
+    def topology_model(h: Zen) -> Zen:
+        s = create(
+            NetState,
+            hdr=h,
+            device=constant(index_of[source[0]], Byte),
+            port=constant(source[1], Byte),
+            alive=constant(True, bool),
+        )
+        for _ in range(max_hops):
+            step = s  # dead and delivered states absorb
+            for device in names:
+                hop = _device_hop(s, models[device], links, index_of, sink)
+                step = if_((s.device == index_of[device]) & s.alive, hop, step)
+            s = step
+        delivered = (s.device == len(names)) & s.alive
+        return (
+            cover_predicate(h, query.get("headers"))
+            & delivered
+            & cover_predicate(s.hdr, query.get("target"))
+        )
+
+    return ZenFunction(topology_model, [Header], name=name)
 
 
 def _build_int(node: Sequence[Any], args: Tuple[Zen, ...], int_type: Any) -> Zen:
@@ -558,10 +613,13 @@ def validate_scenario(data: Any) -> Dict[str, Any]:
     )
     # Unknown bug names would silently behave as "no bug" in the
     # reference interpreter; reject them instead.
-    from .reference import KNOWN_BUGS
+    from .reference import KNOWN_BUGS, SYSTEM_BUGS
 
     bug = data.get("bug")
-    _require(bug is None or bug in KNOWN_BUGS, f"unknown bug {bug!r}")
+    _require(
+        bug is None or bug in KNOWN_BUGS or bug in SYSTEM_BUGS,
+        f"unknown bug {bug!r}",
+    )
     payload = data.get("payload")
     _require(isinstance(payload, dict), "payload must be a dict")
     if kind == "acl":
@@ -662,6 +720,21 @@ def validate_scenario(data: Any) -> Dict[str, Any]:
                         ),
                         f"{where}.{key} malformed",
                     )
+    elif kind == "topology":
+        topo = payload.get("topo")
+        query = payload.get("query")
+        _require(isinstance(topo, dict), "topology needs a topo dict")
+        _require(isinstance(query, dict), "topology needs a query dict")
+        # Compose owns the payload schema; its validators raise the
+        # same ValueError contract the shrinker relies on.
+        from ..compose.topo import validate_query, validate_topology
+
+        validate_topology(topo)
+        validate_query(topo, query)
+        _require(
+            len(topo["devices"]) <= 8,
+            "topology scenarios stay small (<= 8 devices)",
+        )
     else:  # kind == "zen"
         width = payload.get("width")
         _require(width in (8, 16), "zen.width must be 8 or 16")
@@ -892,6 +965,35 @@ class ScenarioGenerator:
                 if rng.random() < 0.8:
                     devices[k]["fib"].append([[tunnel[1], 32], 2])
         return {"devices": devices}
+
+    def _gen_topology(self, rng: random.Random) -> Dict[str, Any]:
+        """A small compose topology plus its end-to-end query.
+
+        Reuses the workload chain builder (the compose payload format's
+        canonical generator) with a scenario-derived seed, so the
+        emitted JSON is exactly what :func:`repro.compose.run_composed`
+        consumes.  Queries often pin ``dst_ip`` — a constrained header
+        cover is what makes assume-guarantee discharge (and the
+        ``compose-drop-assumption`` canary) actually bite on rewriting
+        chains.
+        """
+        from ..workloads.generators import chain_query, chain_topology
+
+        num_devices = rng.randint(2, min(4, self.limits.max_devices))
+        topo = chain_topology(
+            num_devices,
+            seed=rng.getrandbits(32),
+            nat_probability=rng.choice((0.0, 0.4, 0.7)),
+            acl_probability=rng.choice((0.0, 0.4)),
+        )
+        query = chain_query(num_devices)
+        if rng.random() < 0.6:
+            length = rng.choice((8, 16, 24, 32))
+            mask = (0xFFFFFFFF << (32 - length)) & 0xFFFFFFFF
+            query["headers"] = [
+                {"dst_ip": [rng.getrandbits(32) & mask, mask]}
+            ]
+        return {"topo": topo, "query": query}
 
     def _gen_zen(self, rng: random.Random) -> Dict[str, Any]:
         width = rng.choice((8, 8, 16))

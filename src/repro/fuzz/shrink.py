@@ -40,6 +40,8 @@ _REMOVABLE_LISTS = (
     "devices",
     "fib",
     "match_prefixes",
+    "nat",
+    "links",
 )
 
 #: Dict keys whose values may be simplified to None.
@@ -62,6 +64,9 @@ _NULLABLE_KEYS = (
     "gre_start",
     "gre_end",
     "check_local_pref",
+    "nat",
+    "headers",
+    "target",
 )
 
 #: Keys whose integers the scalar pass may zero/halve.  ``version``,

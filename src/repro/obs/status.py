@@ -45,6 +45,7 @@ class EngineStatus:
     hedge: Dict[str, Any] = field(default_factory=dict)
     slo: List[Dict[str, Any]] = field(default_factory=list)
     counters: Dict[str, float] = field(default_factory=dict)
+    compose: Dict[str, float] = field(default_factory=dict)
 
     def as_dict(self) -> Dict[str, Any]:
         return asdict(self)
@@ -135,6 +136,15 @@ def render_status(status: EngineStatus) -> str:
             f" launched={hedge.get('launched', 0)}"
             f" won={hedge.get('won', 0)} lost={hedge.get('lost', 0)}"
             f" win_rate={float(hedge.get('win_rate') or 0.0):.2f}"
+        )
+    compose = status.compose or {}
+    if compose:
+        lines.append(
+            f"  compose: queries {int(compose.get('queries', 0))}"
+            f" · shards {int(compose.get('shards_dispatched', 0))}"
+            f" · escalations {int(compose.get('escalations', 0))}"
+            f" · monolith fallbacks"
+            f" {int(compose.get('monolith_fallbacks', 0))}"
         )
     for slo in status.slo or []:
         flag = "BURNING" if slo.get("burning") else "ok"

@@ -869,6 +869,11 @@ class QueryEngine:
                 ),
             },
             slo=self._slo.state(at) if self._slo is not None else [],
+            compose={
+                key[len("compose."):]: float(value)
+                for key, value in METRICS.snapshot().items()
+                if key.startswith("compose.")
+            },
             counters={
                 "shed_overload": float(self._shed_count),
                 "deadline_expired": float(self._expired_count),

@@ -37,6 +37,15 @@ __all__ = [
     "random_nat_table",
     "random_fwd_table",
     "random_header",
+    "chain_topology",
+    "chain_query",
+    "fat_tree",
+    "fat_tree_pod",
+    "fat_tree_device",
+    "fat_tree_device_names",
+    "fat_tree_hosts",
+    "fat_tree_host_address",
+    "fat_tree_reach_query",
 ]
 
 
@@ -184,3 +193,306 @@ def random_header(rng: random.Random) -> Header:
         src_port=rng.getrandbits(16),
         protocol=rng.getrandbits(8),
     )
+
+
+# ----------------------------------------------------------------------
+# Shardable topologies (compositional verification workloads)
+# ----------------------------------------------------------------------
+#
+# These builders emit the plain-JSON topology payload consumed by
+# :mod:`repro.compose`: picklable dicts of devices, links, and planner
+# group hints.  Every builder is addressable as a stable ``module:attr``
+# reference with plain arguments, so a compose shard can name exactly
+# the sub-topology it needs inside a ``QuerySpec`` and any worker
+# process rebuilds it bit-for-bit.  Per-device randomness (uplink
+# choice, ACL sprinkling) is derived from ``(seed, device-name)`` — the
+# same trick as the fuzz farm's ``scenario_rng`` — so the full-fabric,
+# per-pod, and per-device builders agree by construction.
+
+
+def _device_rng(seed: int, name: str) -> random.Random:
+    """Deterministic per-device stream, platform-independent."""
+    return random.Random(f"repro-topo:{seed}:{name}")
+
+
+def _prefix_json(address: int, length: int) -> List[int]:
+    return [address, length]
+
+
+def _sprinkle_acl(rng: random.Random, probability: float) -> Optional[list]:
+    """An ACL that denies traffic outside 10/8 but never 10/8 itself.
+
+    Keeps sprinkled topologies' 10.x reachability verdicts identical to
+    the plain fabric while still exercising ACL model paths.
+    """
+    if probability <= 0.0 or rng.random() >= probability:
+        return None
+    denied = rng.randint(20, 200) << 24
+    return [
+        {"action": False, "src": [0, 0], "dst": _prefix_json(denied, 8)},
+        {"action": True, "src": [0, 0], "dst": [0, 0]},
+    ]
+
+
+def chain_topology(
+    num_devices: int,
+    seed: int = 0,
+    *,
+    fib_rules: int = 3,
+    nat_probability: float = 0.0,
+    acl_probability: float = 0.0,
+) -> dict:
+    """A linear chain of `num_devices` forwarding devices.
+
+    Device ``d<i>`` receives on port 1 and forwards on port 2 into
+    ``d<i+1>``; ``d0:1`` is the external entry and ``d<N-1>:2`` the
+    external exit.  Each device keeps a random FIB biased toward the
+    forwarding port plus a default-forward rule, optionally an ingress
+    NAT and ACLs — the hand-rolled analogue of the fuzz farm's path
+    scenarios, here in the compose payload format.
+    """
+    if num_devices < 1:
+        raise ValueError("chain_topology needs at least one device")
+    devices = {}
+    links = []
+    for i in range(num_devices):
+        name = f"d{i}"
+        rng = _device_rng(seed, name)
+        fib = [
+            [
+                _prefix_json(rng.getrandbits(32), rng.randint(8, 24)),
+                rng.choice((2, 2, 2, 3)),
+            ]
+            for _ in range(max(fib_rules - 1, 0))
+        ]
+        fib.append([_prefix_json(0, 0), 2])
+        desc: dict = {"fib": fib}
+        if nat_probability > 0.0 and rng.random() < nat_probability:
+            desc["nat"] = [
+                {
+                    "match_src": _prefix_json(0, 0),
+                    "match_dst": _prefix_json(
+                        rng.getrandbits(32), rng.randint(0, 16)
+                    ),
+                    "translate_dst": _prefix_json(
+                        rng.getrandbits(32), rng.randint(8, 24)
+                    ),
+                }
+            ]
+        acl = _sprinkle_acl(rng, acl_probability)
+        if acl is not None:
+            desc["acl_in"] = {"1": acl}
+        devices[name] = desc
+        if i + 1 < num_devices:
+            links.append([name, 2, f"d{i + 1}", 1])
+    return {"devices": devices, "links": links, "groups": {}}
+
+
+def chain_query(
+    num_devices: int,
+    headers: Optional[list] = None,
+    target: Optional[list] = None,
+    mode: str = "reach",
+) -> dict:
+    """The end-to-end query matching :func:`chain_topology`'s boundary."""
+    return {
+        "mode": mode,
+        "source": ["d0", 1],
+        "sink": [f"d{num_devices - 1}", 2],
+        "headers": headers,
+        "target": target,
+    }
+
+
+def fat_tree_host_address(pod: int, edge: int, host: int) -> int:
+    """The deterministic 10.pod.edge.host+2 address of a fat-tree host."""
+    return (10 << 24) | (pod << 16) | (edge << 8) | (host + 2)
+
+
+def _check_fat_tree_args(k: int, hosts_per_edge: int) -> None:
+    if k < 2 or k % 2:
+        raise ValueError("fat_tree needs an even k >= 2")
+    if not 1 <= hosts_per_edge <= k // 2:
+        raise ValueError("hosts_per_edge must be in [1, k/2]")
+
+
+def fat_tree_device_names(k: int, hosts_per_edge: int = 1) -> List[str]:
+    """Every device name of the (k, hosts_per_edge) fat-tree, in order."""
+    _check_fat_tree_args(k, hosts_per_edge)
+    half = k // 2
+    names = [f"core{c}" for c in range(half * half)]
+    for p in range(k):
+        names.extend(f"agg_{p}_{a}" for a in range(half))
+        names.extend(f"edge_{p}_{e}" for e in range(half))
+        for e in range(half):
+            names.extend(f"host_{p}_{e}_{h}" for h in range(hosts_per_edge))
+    return names
+
+
+def fat_tree_hosts(k: int, hosts_per_edge: int = 1) -> List[str]:
+    """Just the host device names of the fat-tree."""
+    return [
+        name
+        for name in fat_tree_device_names(k, hosts_per_edge)
+        if name.startswith("host_")
+    ]
+
+
+def fat_tree_device(
+    k: int,
+    name: str,
+    seed: int = 0,
+    hosts_per_edge: int = 1,
+    acl_probability: float = 0.0,
+) -> dict:
+    """One fat-tree device description (a per-device shard builder ref).
+
+    Identical to the entry ``fat_tree(...)["devices"][name]`` would
+    hold — per-device randomness is keyed on ``(seed, name)``, never on
+    construction order.
+    """
+    _check_fat_tree_args(k, hosts_per_edge)
+    half = k // 2
+    rng = _device_rng(seed, name)
+    parts = name.split("_")
+    if name.startswith("core"):
+        c = int(name[4:])
+        if not 0 <= c < half * half:
+            raise ValueError(f"no such core switch: {name}")
+        fib = [
+            [_prefix_json((10 << 24) | (p << 16), 16), p + 1] for p in range(k)
+        ]
+    elif name.startswith("agg_"):
+        p, a = int(parts[1]), int(parts[2])
+        if not (0 <= p < k and 0 <= a < half):
+            raise ValueError(f"no such aggregation switch: {name}")
+        fib = [
+            [_prefix_json((10 << 24) | (p << 16) | (e << 8), 24), e + 1]
+            for e in range(half)
+        ]
+        fib.append([_prefix_json(0, 0), half + 1 + rng.randrange(half)])
+    elif name.startswith("edge_"):
+        p, e = int(parts[1]), int(parts[2])
+        if not (0 <= p < k and 0 <= e < half):
+            raise ValueError(f"no such edge switch: {name}")
+        fib = [
+            [_prefix_json(fat_tree_host_address(p, e, h), 32), h + 1]
+            for h in range(hosts_per_edge)
+        ]
+        fib.append([_prefix_json(0, 0), half + 1 + rng.randrange(half)])
+    elif name.startswith("host_"):
+        p, e, h = int(parts[1]), int(parts[2]), int(parts[3])
+        if not (0 <= p < k and 0 <= e < half and 0 <= h < hosts_per_edge):
+            raise ValueError(f"no such host: {name}")
+        # Port 1 is the uplink; port 2 is unlinked local delivery (the
+        # sink boundary reachability queries point at).
+        fib = [
+            [_prefix_json(fat_tree_host_address(p, e, h), 32), 2],
+            [_prefix_json(0, 0), 1],
+        ]
+    else:
+        raise ValueError(f"unknown fat-tree device name: {name}")
+    desc: dict = {"fib": fib}
+    acl = _sprinkle_acl(rng, acl_probability)
+    if acl is not None:
+        desc["acl_in"] = {"1": acl}
+    return desc
+
+
+def _fat_tree_links(k: int, hosts_per_edge: int) -> List[list]:
+    half = k // 2
+    links: List[list] = []
+    for p in range(k):
+        for e in range(half):
+            for h in range(hosts_per_edge):
+                links.append([f"host_{p}_{e}_{h}", 1, f"edge_{p}_{e}", h + 1])
+            for a in range(half):
+                links.append(
+                    [f"edge_{p}_{e}", half + a + 1, f"agg_{p}_{a}", e + 1]
+                )
+        for a in range(half):
+            for j in range(half):
+                links.append(
+                    [f"agg_{p}_{a}", half + j + 1, f"core{a * half + j}", p + 1]
+                )
+    return links
+
+
+def fat_tree(
+    k: int,
+    seed: int = 0,
+    hosts_per_edge: int = 1,
+    acl_probability: float = 0.0,
+) -> dict:
+    """A full k-ary fat-tree fabric with attached hosts.
+
+    ``(k/2)^2`` core switches, ``k`` pods of ``k/2`` aggregation and
+    ``k/2`` edge switches, and ``hosts_per_edge`` hosts per edge switch
+    (hosts are trivial single-route devices, so they scale the device
+    count without dominating model size).  Forwarding is deterministic
+    single-path: downward routes are exact, upward routes pick one
+    uplink per device from the ``(seed, name)`` stream.
+    """
+    _check_fat_tree_args(k, hosts_per_edge)
+    half = k // 2
+    devices = {
+        name: fat_tree_device(k, name, seed, hosts_per_edge, acl_probability)
+        for name in fat_tree_device_names(k, hosts_per_edge)
+    }
+    groups = {"core": [f"core{c}" for c in range(half * half)]}
+    for p in range(k):
+        groups[f"pod{p}"] = [
+            name
+            for name in devices
+            if name.startswith((f"agg_{p}_", f"edge_{p}_", f"host_{p}_"))
+        ]
+    return {
+        "devices": devices,
+        "links": _fat_tree_links(k, hosts_per_edge),
+        "groups": groups,
+    }
+
+
+def fat_tree_pod(
+    k: int,
+    pod: int,
+    seed: int = 0,
+    hosts_per_edge: int = 1,
+    acl_probability: float = 0.0,
+) -> dict:
+    """One pod's sub-topology (a per-pod shard builder ref)."""
+    _check_fat_tree_args(k, hosts_per_edge)
+    if not 0 <= pod < k:
+        raise ValueError(f"pod {pod} out of range for k={k}")
+    prefix = (f"agg_{pod}_", f"edge_{pod}_", f"host_{pod}_")
+    devices = {
+        name: fat_tree_device(k, name, seed, hosts_per_edge, acl_probability)
+        for name in fat_tree_device_names(k, hosts_per_edge)
+        if name.startswith(prefix)
+    }
+    links = [
+        link
+        for link in _fat_tree_links(k, hosts_per_edge)
+        if link[0] in devices and link[2] in devices
+    ]
+    return {"devices": devices, "links": links, "groups": {f"pod{pod}": sorted(devices)}}
+
+
+def fat_tree_reach_query(
+    src_host: str, dst_host: str, mode: str = "reach"
+) -> dict:
+    """End-to-end delivery query between two fat-tree hosts.
+
+    Packets are injected at the source host's local port and must be
+    delivered out the destination host's local port (port 2) carrying
+    the destination's address.
+    """
+    _, dp, de, dh = dst_host.split("_")
+    address = fat_tree_host_address(int(dp), int(de), int(dh))
+    return {
+        "mode": mode,
+        "source": [src_host, 2],
+        "sink": [dst_host, 2],
+        "headers": [{"dst_ip": [address, 0xFFFFFFFF]}],
+        "target": None,
+    }
